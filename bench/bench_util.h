@@ -1,0 +1,63 @@
+#ifndef IRONSAFE_BENCH_BENCH_UTIL_H_
+#define IRONSAFE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/csa_system.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace ironsafe::bench {
+
+/// Default bench scale factor: small enough that the full suite runs in
+/// CI time, large enough that per-query behaviour differentiates. All
+/// harnesses accept an SF override as argv[1].
+inline constexpr double kDefaultScaleFactor = 0.002;
+inline constexpr uint64_t kSeed = 19940101;
+
+inline double ArgScaleFactor(int argc, char** argv) {
+  if (argc > 1) {
+    double sf = std::atof(argv[1]);
+    if (sf > 0) return sf;
+  }
+  return kDefaultScaleFactor;
+}
+
+/// Builds a CSA testbed loaded with TPC-H data at `sf`.
+inline Result<std::unique_ptr<engine::CsaSystem>> MakeLoadedSystem(
+    double sf, engine::CsaOptions options = {}) {
+  options.scale_factor = sf;
+  auto system = engine::CsaSystem::Create(options);
+  if (!system.ok()) return system.status();
+  Status st = (*system)->Load([&](sql::Database* db) {
+    tpch::TpchGenerator gen(tpch::TpchConfig{sf, kSeed});
+    return gen.LoadInto(db);
+  });
+  if (!st.ok()) return st;
+  return std::move(*system);
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void Die(const Status& status) {
+  std::fprintf(stderr, "bench failed: %s\n", status.ToString().c_str());
+  std::exit(1);
+}
+
+#define BENCH_CONCAT_INNER(a, b) a##b
+#define BENCH_CONCAT(a, b) BENCH_CONCAT_INNER(a, b)
+
+#define BENCH_ASSIGN(decl, expr)                                       \
+  auto BENCH_CONCAT(_bench_r_, __LINE__) = (expr);                     \
+  if (!BENCH_CONCAT(_bench_r_, __LINE__).ok())                         \
+    ::ironsafe::bench::Die(BENCH_CONCAT(_bench_r_, __LINE__).status()); \
+  decl = std::move(*BENCH_CONCAT(_bench_r_, __LINE__))
+
+}  // namespace ironsafe::bench
+
+#endif  // IRONSAFE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,47 @@
+// Figure 10: TPC-H speedup (hos vs scs) while hotplugging CPUs on the
+// storage server (1, 2, 4, 8, 16). The paper observes that relative
+// performance generally improves with more storage CPUs, and that
+// lightly-loaded offloads (#2,#3,#4,#5,#7,#10) already win at 1 CPU.
+
+#include "bench/bench_util.h"
+
+namespace ironsafe::bench {
+namespace {
+
+using engine::CsaOptions;
+using engine::SystemConfig;
+
+int Main(int argc, char** argv) {
+  double sf = ArgScaleFactor(argc, argv);
+  const int kCores[] = {1, 2, 4, 8, 16};
+
+  PrintHeader("Figure 10: secure speedup (hos/scs) vs storage CPUs (SF=" +
+              std::to_string(sf) + ")");
+  std::printf("%5s", "query");
+  for (int cores : kCores) std::printf("  %5d-cpu", cores);
+  std::printf("\n");
+
+  // hos does not depend on storage cores; compute it once per query. The
+  // storage-cores knob only affects the cost model, so one loaded system
+  // serves every sweep point.
+  BENCH_ASSIGN(auto system, MakeLoadedSystem(sf));
+
+  for (const auto& query : tpch::Queries()) {
+    system->set_storage_cores(16);
+    BENCH_ASSIGN(auto hos, system->Run(SystemConfig::kHos, query.sql));
+    std::printf("%5d", query.number);
+    for (int cores : kCores) {
+      system->set_storage_cores(cores);
+      BENCH_ASSIGN(auto scs, system->Run(SystemConfig::kScs, query.sql));
+      std::printf("  %8.2fx", hos.cost.elapsed_ms() / scs.cost.elapsed_ms());
+    }
+    std::printf("\n");
+  }
+  system->set_storage_cores(16);
+  return 0;
+}
+
+}  // namespace
+}  // namespace ironsafe::bench
+
+int main(int argc, char** argv) { return ironsafe::bench::Main(argc, argv); }

@@ -1,0 +1,67 @@
+// Figure 11: speedup of the storage-side (offloaded) execution as the
+// memory available to the storage-side application grows. The paper uses
+// 128 MiB / 256 MiB / 2 GiB against a ~3 GB database; we preserve those
+// database:memory ratios at the bench scale factor. Expected shape:
+// many offloaded queries fit the smallest budget (flat), several speed
+// up at the middle budget, and the join-heavy #13 keeps improving.
+
+#include "bench/bench_util.h"
+
+namespace ironsafe::bench {
+namespace {
+
+using engine::SystemConfig;
+
+uint64_t DatabaseBytes(engine::CsaSystem* system) {
+  uint64_t pages = 0;
+  for (const char* t : {"lineitem", "orders", "customer", "part", "partsupp",
+                        "supplier", "nation", "region"}) {
+    auto table = system->secure_db()->GetTable(t);
+    if (table.ok()) pages += (*table)->page_count();
+  }
+  return pages * 4096;
+}
+
+int Main(int argc, char** argv) {
+  double sf = ArgScaleFactor(argc, argv);
+  BENCH_ASSIGN(auto system, MakeLoadedSystem(sf));
+  uint64_t db_bytes = DatabaseBytes(system.get());
+
+  // Paper ratios against a ~3 GB SF-3 database.
+  const struct {
+    const char* label;
+    double fraction;  // of database size
+  } kBudgets[] = {{"128MiB-equiv", 128.0 / 3072.0},
+                  {"256MiB-equiv", 256.0 / 3072.0},
+                  {"2GiB-equiv", 2048.0 / 3072.0}};
+
+  PrintHeader("Figure 11: storage-side speedup vs memory budget (SF=" +
+              std::to_string(sf) + ", db=" +
+              std::to_string(db_bytes / 1024) + " KiB)");
+  std::printf("%5s", "query");
+  for (const auto& b : kBudgets) std::printf(" %14s", b.label);
+  std::printf("\n");
+
+  for (const auto& query : tpch::Queries()) {
+    std::printf("%5d", query.number);
+    double baseline_ms = 0;
+    for (const auto& budget : kBudgets) {
+      system->set_storage_memory_bytes(std::max<uint64_t>(
+          4096, static_cast<uint64_t>(budget.fraction * db_bytes)));
+      BENCH_ASSIGN(auto sos, system->Run(SystemConfig::kSos, query.sql));
+      double ms = sos.cost.elapsed_ms();
+      if (baseline_ms == 0) baseline_ms = ms;
+      std::printf(" %13.2fx", baseline_ms / ms);
+    }
+    std::printf("\n");
+  }
+  system->set_storage_memory_bytes(32ull << 30);
+  std::printf("(normalized to the 128MiB-equivalent budget; >1 means the "
+              "extra memory helped)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ironsafe::bench
+
+int main(int argc, char** argv) { return ironsafe::bench::Main(argc, argv); }

@@ -1,0 +1,51 @@
+// Figure 12: storage-engine scalability. N instances (1,2,4,8,16) each
+// run the offloaded portion against an independent copy of the secure
+// database; the plot is cumulative execution time across instances,
+// normalized to one instance. The paper sees linear scaling for all
+// queries except the memory-intensive #13.
+
+#include "bench/bench_util.h"
+
+namespace ironsafe::bench {
+namespace {
+
+using engine::SystemConfig;
+
+int Main(int argc, char** argv) {
+  double sf = ArgScaleFactor(argc, argv);
+  BENCH_ASSIGN(auto system, MakeLoadedSystem(sf));
+
+  const int kInstances[] = {1, 2, 4, 8, 16};
+  const int kTotalCores = 16;
+  const uint64_t kTotalMemory = 64ull << 20;  // scaled storage app budget
+
+  PrintHeader("Figure 12: cumulative offloaded-portion time vs instances "
+              "(normalized to 1 instance)");
+  std::printf("%5s", "query");
+  for (int n : kInstances) std::printf(" %8d-inst", n);
+  std::printf("\n");
+
+  for (const auto& query : tpch::Queries()) {
+    std::printf("%5d", query.number);
+    double single_ms = 0;
+    for (int n : kInstances) {
+      // Each instance gets a share of the cores and memory.
+      system->set_storage_cores(std::max(1, kTotalCores / n));
+      system->set_storage_memory_bytes(std::max<uint64_t>(4096, kTotalMemory / n));
+      BENCH_ASSIGN(auto sos, system->Run(SystemConfig::kSos, query.sql));
+      double cumulative = sos.cost.elapsed_ms() * n;
+      if (n == 1) single_ms = sos.cost.elapsed_ms();
+      std::printf(" %12.2f", cumulative / single_ms);
+    }
+    std::printf("\n");
+  }
+  system->set_storage_cores(16);
+  system->set_storage_memory_bytes(32ull << 30);
+  std::printf("(linear scaling = column value ~ instance count)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ironsafe::bench
+
+int main(int argc, char** argv) { return ironsafe::bench::Main(argc, argv); }

@@ -1,0 +1,47 @@
+// Figure 6: TPC-H query execution-time speedup due to computational
+// storage, non-secure (hons vs vcs) and secure (hos vs scs).
+// Prints one row per evaluated query plus the secure-case average the
+// abstract headlines (paper: 2.3x on average).
+
+#include "bench/bench_util.h"
+
+namespace ironsafe::bench {
+namespace {
+
+using engine::SystemConfig;
+
+int Main(int argc, char** argv) {
+  double sf = ArgScaleFactor(argc, argv);
+  BENCH_ASSIGN(auto system, MakeLoadedSystem(sf));
+
+  PrintHeader("Figure 6: TPC-H speedup from computational storage (SF=" +
+              std::to_string(sf) + ")");
+  std::printf("%5s %14s %14s %14s %14s %10s %10s\n", "query", "hons(ms)",
+              "vcs(ms)", "hos(ms)", "scs(ms)", "ns-speedup", "s-speedup");
+
+  double sum_secure_speedup = 0;
+  int n = 0;
+  for (const auto& query : tpch::Queries()) {
+    BENCH_ASSIGN(auto hons, system->Run(SystemConfig::kHons, query.sql));
+    BENCH_ASSIGN(auto vcs, system->Run(SystemConfig::kVcs, query.sql));
+    BENCH_ASSIGN(auto hos, system->Run(SystemConfig::kHos, query.sql));
+    BENCH_ASSIGN(auto scs, system->Run(SystemConfig::kScs, query.sql));
+
+    double nonsecure = hons.cost.elapsed_ms() / vcs.cost.elapsed_ms();
+    double secure = hos.cost.elapsed_ms() / scs.cost.elapsed_ms();
+    sum_secure_speedup += secure;
+    ++n;
+    std::printf("%5d %14.3f %14.3f %14.3f %14.3f %9.2fx %9.2fx\n",
+                query.number, hons.cost.elapsed_ms(), vcs.cost.elapsed_ms(),
+                hos.cost.elapsed_ms(), scs.cost.elapsed_ms(), nonsecure,
+                secure);
+  }
+  std::printf("\naverage secure speedup (hos/scs): %.2fx (paper: 2.3x)\n",
+              sum_secure_speedup / n);
+  return 0;
+}
+
+}  // namespace
+}  // namespace ironsafe::bench
+
+int main(int argc, char** argv) { return ironsafe::bench::Main(argc, argv); }

@@ -1,0 +1,44 @@
+// Figure 7: reduction in data exchanged between host and storage server
+// when using CSA — the ratio of pages shipped to the host in host-only
+// mode versus the filtered record batches shipped in CS mode. The paper
+// reports an average IO reduction of 2.1x and notes query speedup is
+// almost directly correlated with this reduction.
+
+#include "bench/bench_util.h"
+
+namespace ironsafe::bench {
+namespace {
+
+using engine::SystemConfig;
+
+int Main(int argc, char** argv) {
+  double sf = ArgScaleFactor(argc, argv);
+  BENCH_ASSIGN(auto system, MakeLoadedSystem(sf));
+
+  PrintHeader("Figure 7: host<->storage data movement reduction (SF=" +
+              std::to_string(sf) + ")");
+  std::printf("%5s %16s %16s %12s\n", "query", "host-only(KiB)",
+              "comp-storage(KiB)", "reduction");
+
+  double sum = 0;
+  int n = 0;
+  for (const auto& query : tpch::Queries()) {
+    BENCH_ASSIGN(auto hons, system->Run(SystemConfig::kHons, query.sql));
+    BENCH_ASSIGN(auto vcs, system->Run(SystemConfig::kVcs, query.sql));
+    double host_only_kib = hons.cost.network_bytes() / 1024.0;
+    double cs_kib = vcs.cost.network_bytes() / 1024.0;
+    double reduction = cs_kib > 0 ? host_only_kib / cs_kib : 0;
+    sum += reduction;
+    ++n;
+    std::printf("%5d %16.1f %16.1f %11.2fx\n", query.number, host_only_kib,
+                cs_kib, reduction);
+  }
+  std::printf("\naverage IO reduction: %.2fx (paper: 2.1x average)\n",
+              sum / n);
+  return 0;
+}
+
+}  // namespace
+}  // namespace ironsafe::bench
+
+int main(int argc, char** argv) { return ironsafe::bench::Main(argc, argv); }

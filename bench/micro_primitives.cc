@@ -1,0 +1,140 @@
+// google-benchmark microbenchmarks of the primitives every IronSafe
+// query exercises: hashing, MACs, page encryption, signatures, the
+// Merkle tree, the secure page store, and the secure channel.
+
+#include <benchmark/benchmark.h>
+
+#include "crypto/aes.h"
+#include "crypto/chacha20.h"
+#include "crypto/ed25519.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "crypto/sha512.h"
+#include "net/secure_channel.h"
+#include "securestore/merkle_tree.h"
+#include "securestore/secure_store.h"
+
+namespace ironsafe {
+namespace {
+
+void BM_Sha256_4KiB(benchmark::State& state) {
+  Bytes data(4096, 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_Sha256_4KiB);
+
+void BM_Sha512_4KiB(benchmark::State& state) {
+  Bytes data(4096, 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha512::Hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_Sha512_4KiB);
+
+void BM_HmacSha512_4KiB(benchmark::State& state) {
+  Bytes key(32, 1), data(4096, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::HmacSha512(key, data));
+  }
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_HmacSha512_4KiB);
+
+void BM_AesCbcEncrypt_4KiB(benchmark::State& state) {
+  Bytes key(32, 1), iv(16, 2), page(4096, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::AesCbcEncrypt(key, iv, page));
+  }
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_AesCbcEncrypt_4KiB);
+
+void BM_ChaCha20_4KiB(benchmark::State& state) {
+  Bytes key(32, 1), nonce(12, 2), data(4096, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::ChaCha20(key, nonce, 0, data));
+  }
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_ChaCha20_4KiB);
+
+void BM_Ed25519_Sign(benchmark::State& state) {
+  auto kp = *crypto::Ed25519KeyPairFromSeed(Bytes(32, 7));
+  Bytes msg = ToBytes("attestation quote payload");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Ed25519Sign(kp.private_key, msg));
+  }
+}
+BENCHMARK(BM_Ed25519_Sign);
+
+void BM_Ed25519_Verify(benchmark::State& state) {
+  auto kp = *crypto::Ed25519KeyPairFromSeed(Bytes(32, 7));
+  Bytes msg = ToBytes("attestation quote payload");
+  Bytes sig = *crypto::Ed25519Sign(kp.private_key, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Ed25519Verify(kp.public_key, msg, sig));
+  }
+}
+BENCHMARK(BM_Ed25519_Verify);
+
+void BM_X25519(benchmark::State& state) {
+  Bytes scalar(32, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::X25519Base(scalar));
+  }
+}
+BENCHMARK(BM_X25519);
+
+void BM_MerkleVerify(benchmark::State& state) {
+  const uint64_t leaves = state.range(0);
+  securestore::MerkleTree tree(Bytes(32, 1), leaves);
+  for (uint64_t i = 0; i < leaves; ++i) {
+    tree.UpdateLeaf(i, crypto::Sha256::Hash(std::to_string(i)));
+  }
+  uint64_t i = 0;
+  for (auto _ : state) {
+    Bytes mac = crypto::Sha256::Hash(std::to_string(i % leaves));
+    benchmark::DoNotOptimize(tree.VerifyLeaf(i % leaves, mac));
+    ++i;
+  }
+}
+BENCHMARK(BM_MerkleVerify)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_SecureStoreReadPage(benchmark::State& state) {
+  tee::DeviceManufacturer mfg(ToBytes("m"));
+  tee::TrustZoneDevice device(ToBytes("d"), mfg, {"n", "eu", 1});
+  securestore::SecureStorageTa ta(&device);
+  storage::BlockDevice disk;
+  auto store = *securestore::SecureStore::Create(&disk, &ta);
+  store->BeginBatch();
+  for (uint64_t i = 0; i < 64; ++i) {
+    (void)store->WritePage(i, Bytes(4096, static_cast<uint8_t>(i)));
+  }
+  (void)store->EndBatch();
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->ReadPage(i++ % 64));
+  }
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_SecureStoreReadPage);
+
+void BM_SecureChannelRoundTrip(benchmark::State& state) {
+  auto pair = *net::Handshake::FromSessionKey(Bytes(32, 9));
+  Bytes payload(state.range(0), 0x5A);
+  for (auto _ : state) {
+    auto frame = pair.first->Send(payload, nullptr);
+    benchmark::DoNotOptimize(pair.second->Receive(*frame, nullptr));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SecureChannelRoundTrip)->Arg(1024)->Arg(65536);
+
+}  // namespace
+}  // namespace ironsafe
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+#ifndef IRONSAFE_COMMON_LOGGING_H_
+#define IRONSAFE_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace ironsafe {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Default: kWarning
+/// so tests and benchmarks stay quiet.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace ironsafe
+
+#define IRONSAFE_LOG(level)                                          \
+  if (::ironsafe::LogLevel::k##level < ::ironsafe::GetLogLevel()) {  \
+  } else                                                             \
+    ::ironsafe::internal_logging::LogMessage(                        \
+        ::ironsafe::LogLevel::k##level, __FILE__, __LINE__)          \
+        .stream()
+
+/// Fatal invariant check; aborts with a message. Used for programmer
+/// errors only — recoverable failures must return Status.
+#define IRONSAFE_CHECK(cond)                                             \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                     \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#endif  // IRONSAFE_COMMON_LOGGING_H_

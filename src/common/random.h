@@ -1,0 +1,35 @@
+#ifndef IRONSAFE_COMMON_RANDOM_H_
+#define IRONSAFE_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace ironsafe {
+
+/// Deterministic 64-bit PRNG (xoshiro256**). Used for workload generation
+/// and simulation so every run is reproducible from a seed. Cryptographic
+/// randomness comes from crypto::Drbg, not from this class.
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  uint64_t Next();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace ironsafe
+
+#endif  // IRONSAFE_COMMON_RANDOM_H_

@@ -1,0 +1,59 @@
+#include "crypto/aead.h"
+
+#include "crypto/aes.h"
+#include "crypto/hmac.h"
+
+namespace ironsafe::crypto {
+
+Result<Aead> Aead::Create(const Bytes& key) {
+  if (key.size() != kKeySize) {
+    return Status::InvalidArgument("AEAD key must be 64 bytes");
+  }
+  Bytes enc_key(key.begin(), key.begin() + 32);
+  Bytes mac_key(key.begin() + 32, key.end());
+  return Aead(std::move(enc_key), std::move(mac_key));
+}
+
+namespace {
+Bytes MacInput(const Bytes& nonce, const Bytes& aad, const Bytes& ciphertext) {
+  Bytes m;
+  Append(&m, nonce);
+  PutU64(&m, aad.size());
+  Append(&m, aad);
+  Append(&m, ciphertext);
+  return m;
+}
+}  // namespace
+
+Result<Bytes> Aead::Seal(const Bytes& nonce, const Bytes& aad,
+                         const Bytes& plaintext) const {
+  if (nonce.size() != kNonceSize) {
+    return Status::InvalidArgument("AEAD nonce must be 16 bytes");
+  }
+  ASSIGN_OR_RETURN(Bytes ciphertext, AesCtr(enc_key_, nonce, plaintext));
+  Bytes tag = HmacSha256(mac_key_, MacInput(nonce, aad, ciphertext));
+
+  Bytes out;
+  out.reserve(kOverhead + ciphertext.size());
+  Append(&out, nonce);
+  Append(&out, ciphertext);
+  Append(&out, tag);
+  return out;
+}
+
+Result<Bytes> Aead::Open(const Bytes& aad, const Bytes& sealed) const {
+  if (sealed.size() < kOverhead) {
+    return Status::Corruption("sealed message too short");
+  }
+  Bytes nonce(sealed.begin(), sealed.begin() + kNonceSize);
+  Bytes ciphertext(sealed.begin() + kNonceSize, sealed.end() - kTagSize);
+  Bytes tag(sealed.end() - kTagSize, sealed.end());
+
+  Bytes expected = HmacSha256(mac_key_, MacInput(nonce, aad, ciphertext));
+  if (!ConstantTimeEqual(expected, tag)) {
+    return Status::Corruption("AEAD tag mismatch");
+  }
+  return AesCtr(enc_key_, nonce, ciphertext);
+}
+
+}  // namespace ironsafe::crypto

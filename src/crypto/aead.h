@@ -1,0 +1,42 @@
+#ifndef IRONSAFE_CRYPTO_AEAD_H_
+#define IRONSAFE_CRYPTO_AEAD_H_
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace ironsafe::crypto {
+
+/// Authenticated encryption with associated data built as
+/// AES-256-CTR + HMAC-SHA-256 in encrypt-then-MAC composition.
+///
+/// Wire format of Seal(): nonce(16) || ciphertext || tag(32).
+/// The MAC covers nonce || aad_len(u64 LE) || aad || ciphertext, which
+/// makes the (aad, ciphertext) pairing unambiguous.
+class Aead {
+ public:
+  static constexpr size_t kKeySize = 64;  // 32B cipher key + 32B MAC key
+  static constexpr size_t kNonceSize = 16;
+  static constexpr size_t kTagSize = 32;
+  static constexpr size_t kOverhead = kNonceSize + kTagSize;
+
+  /// `key` must be kKeySize bytes (use crypto::HkdfSha256 to derive).
+  static Result<Aead> Create(const Bytes& key);
+
+  /// Encrypts and authenticates. `nonce` must be unique per key.
+  Result<Bytes> Seal(const Bytes& nonce, const Bytes& aad,
+                     const Bytes& plaintext) const;
+
+  /// Verifies and decrypts; fails with Corruption on any tampering.
+  Result<Bytes> Open(const Bytes& aad, const Bytes& sealed) const;
+
+ private:
+  Aead(Bytes enc_key, Bytes mac_key)
+      : enc_key_(std::move(enc_key)), mac_key_(std::move(mac_key)) {}
+
+  Bytes enc_key_;
+  Bytes mac_key_;
+};
+
+}  // namespace ironsafe::crypto
+
+#endif  // IRONSAFE_CRYPTO_AEAD_H_

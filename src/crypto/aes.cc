@@ -1,0 +1,289 @@
+#include "crypto/aes.h"
+
+#include <cstring>
+
+namespace ironsafe::crypto {
+
+namespace {
+
+constexpr uint8_t kSbox[256] = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b,
+    0xfe, 0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
+    0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26,
+    0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0,
+    0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed,
+    0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f,
+    0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec,
+    0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14,
+    0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c,
+    0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f,
+    0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e,
+    0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1, 0xf8, 0x98, 0x11,
+    0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f,
+    0xb0, 0x54, 0xbb, 0x16};
+
+constexpr uint8_t kInvSbox[256] = {
+    0x52, 0x09, 0x6a, 0xd5, 0x30, 0x36, 0xa5, 0x38, 0xbf, 0x40, 0xa3, 0x9e,
+    0x81, 0xf3, 0xd7, 0xfb, 0x7c, 0xe3, 0x39, 0x82, 0x9b, 0x2f, 0xff, 0x87,
+    0x34, 0x8e, 0x43, 0x44, 0xc4, 0xde, 0xe9, 0xcb, 0x54, 0x7b, 0x94, 0x32,
+    0xa6, 0xc2, 0x23, 0x3d, 0xee, 0x4c, 0x95, 0x0b, 0x42, 0xfa, 0xc3, 0x4e,
+    0x08, 0x2e, 0xa1, 0x66, 0x28, 0xd9, 0x24, 0xb2, 0x76, 0x5b, 0xa2, 0x49,
+    0x6d, 0x8b, 0xd1, 0x25, 0x72, 0xf8, 0xf6, 0x64, 0x86, 0x68, 0x98, 0x16,
+    0xd4, 0xa4, 0x5c, 0xcc, 0x5d, 0x65, 0xb6, 0x92, 0x6c, 0x70, 0x48, 0x50,
+    0xfd, 0xed, 0xb9, 0xda, 0x5e, 0x15, 0x46, 0x57, 0xa7, 0x8d, 0x9d, 0x84,
+    0x90, 0xd8, 0xab, 0x00, 0x8c, 0xbc, 0xd3, 0x0a, 0xf7, 0xe4, 0x58, 0x05,
+    0xb8, 0xb3, 0x45, 0x06, 0xd0, 0x2c, 0x1e, 0x8f, 0xca, 0x3f, 0x0f, 0x02,
+    0xc1, 0xaf, 0xbd, 0x03, 0x01, 0x13, 0x8a, 0x6b, 0x3a, 0x91, 0x11, 0x41,
+    0x4f, 0x67, 0xdc, 0xea, 0x97, 0xf2, 0xcf, 0xce, 0xf0, 0xb4, 0xe6, 0x73,
+    0x96, 0xac, 0x74, 0x22, 0xe7, 0xad, 0x35, 0x85, 0xe2, 0xf9, 0x37, 0xe8,
+    0x1c, 0x75, 0xdf, 0x6e, 0x47, 0xf1, 0x1a, 0x71, 0x1d, 0x29, 0xc5, 0x89,
+    0x6f, 0xb7, 0x62, 0x0e, 0xaa, 0x18, 0xbe, 0x1b, 0xfc, 0x56, 0x3e, 0x4b,
+    0xc6, 0xd2, 0x79, 0x20, 0x9a, 0xdb, 0xc0, 0xfe, 0x78, 0xcd, 0x5a, 0xf4,
+    0x1f, 0xdd, 0xa8, 0x33, 0x88, 0x07, 0xc7, 0x31, 0xb1, 0x12, 0x10, 0x59,
+    0x27, 0x80, 0xec, 0x5f, 0x60, 0x51, 0x7f, 0xa9, 0x19, 0xb5, 0x4a, 0x0d,
+    0x2d, 0xe5, 0x7a, 0x9f, 0x93, 0xc9, 0x9c, 0xef, 0xa0, 0xe0, 0x3b, 0x4d,
+    0xae, 0x2a, 0xf5, 0xb0, 0xc8, 0xeb, 0xbb, 0x3c, 0x83, 0x53, 0x99, 0x61,
+    0x17, 0x2b, 0x04, 0x7e, 0xba, 0x77, 0xd6, 0x26, 0xe1, 0x69, 0x14, 0x63,
+    0x55, 0x21, 0x0c, 0x7d};
+
+constexpr uint8_t kRcon[15] = {0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80,
+                               0x1b, 0x36, 0x6c, 0xd8, 0xab, 0x4d, 0x9a};
+
+uint8_t Xtime(uint8_t x) {
+  return static_cast<uint8_t>((x << 1) ^ ((x >> 7) * 0x1b));
+}
+
+uint8_t Mul(uint8_t x, uint8_t y) {
+  uint8_t r = 0;
+  while (y) {
+    if (y & 1) r ^= x;
+    x = Xtime(x);
+    y >>= 1;
+  }
+  return r;
+}
+
+uint32_t SubWord(uint32_t w) {
+  return static_cast<uint32_t>(kSbox[w >> 24]) << 24 |
+         static_cast<uint32_t>(kSbox[(w >> 16) & 0xff]) << 16 |
+         static_cast<uint32_t>(kSbox[(w >> 8) & 0xff]) << 8 |
+         static_cast<uint32_t>(kSbox[w & 0xff]);
+}
+
+uint32_t RotWord(uint32_t w) { return (w << 8) | (w >> 24); }
+
+}  // namespace
+
+Result<Aes> Aes::Create(const Bytes& key) {
+  if (key.size() != 16 && key.size() != 32) {
+    return Status::InvalidArgument("AES key must be 16 or 32 bytes");
+  }
+  Aes aes;
+  aes.ExpandKey(key);
+  return aes;
+}
+
+void Aes::ExpandKey(const Bytes& key) {
+  const int nk = static_cast<int>(key.size() / 4);
+  rounds_ = nk + 6;
+  const int total = 4 * (rounds_ + 1);
+
+  for (int i = 0; i < nk; ++i) {
+    round_keys_[i] = static_cast<uint32_t>(key[4 * i]) << 24 |
+                     static_cast<uint32_t>(key[4 * i + 1]) << 16 |
+                     static_cast<uint32_t>(key[4 * i + 2]) << 8 |
+                     static_cast<uint32_t>(key[4 * i + 3]);
+  }
+  for (int i = nk; i < total; ++i) {
+    uint32_t temp = round_keys_[i - 1];
+    if (i % nk == 0) {
+      temp = SubWord(RotWord(temp)) ^
+             (static_cast<uint32_t>(kRcon[i / nk - 1]) << 24);
+    } else if (nk > 6 && i % nk == 4) {
+      temp = SubWord(temp);
+    }
+    round_keys_[i] = round_keys_[i - nk] ^ temp;
+  }
+}
+
+namespace {
+
+void AddRoundKey(uint8_t state[16], const uint32_t* rk) {
+  for (int c = 0; c < 4; ++c) {
+    state[4 * c] ^= static_cast<uint8_t>(rk[c] >> 24);
+    state[4 * c + 1] ^= static_cast<uint8_t>(rk[c] >> 16);
+    state[4 * c + 2] ^= static_cast<uint8_t>(rk[c] >> 8);
+    state[4 * c + 3] ^= static_cast<uint8_t>(rk[c]);
+  }
+}
+
+void SubBytes(uint8_t state[16]) {
+  for (int i = 0; i < 16; ++i) state[i] = kSbox[state[i]];
+}
+
+void InvSubBytes(uint8_t state[16]) {
+  for (int i = 0; i < 16; ++i) state[i] = kInvSbox[state[i]];
+}
+
+// State layout is column-major: state[4*c + r] is row r, column c.
+void ShiftRows(uint8_t s[16]) {
+  uint8_t t;
+  // Row 1: shift left by 1.
+  t = s[1]; s[1] = s[5]; s[5] = s[9]; s[9] = s[13]; s[13] = t;
+  // Row 2: shift left by 2.
+  std::swap(s[2], s[10]);
+  std::swap(s[6], s[14]);
+  // Row 3: shift left by 3 (== right by 1).
+  t = s[15]; s[15] = s[11]; s[11] = s[7]; s[7] = s[3]; s[3] = t;
+}
+
+void InvShiftRows(uint8_t s[16]) {
+  uint8_t t;
+  t = s[13]; s[13] = s[9]; s[9] = s[5]; s[5] = s[1]; s[1] = t;
+  std::swap(s[2], s[10]);
+  std::swap(s[6], s[14]);
+  t = s[3]; s[3] = s[7]; s[7] = s[11]; s[11] = s[15]; s[15] = t;
+}
+
+void MixColumns(uint8_t s[16]) {
+  for (int c = 0; c < 4; ++c) {
+    uint8_t* col = s + 4 * c;
+    uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = static_cast<uint8_t>(Xtime(a0) ^ (Xtime(a1) ^ a1) ^ a2 ^ a3);
+    col[1] = static_cast<uint8_t>(a0 ^ Xtime(a1) ^ (Xtime(a2) ^ a2) ^ a3);
+    col[2] = static_cast<uint8_t>(a0 ^ a1 ^ Xtime(a2) ^ (Xtime(a3) ^ a3));
+    col[3] = static_cast<uint8_t>((Xtime(a0) ^ a0) ^ a1 ^ a2 ^ Xtime(a3));
+  }
+}
+
+void InvMixColumns(uint8_t s[16]) {
+  for (int c = 0; c < 4; ++c) {
+    uint8_t* col = s + 4 * c;
+    uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = Mul(a0, 14) ^ Mul(a1, 11) ^ Mul(a2, 13) ^ Mul(a3, 9);
+    col[1] = Mul(a0, 9) ^ Mul(a1, 14) ^ Mul(a2, 11) ^ Mul(a3, 13);
+    col[2] = Mul(a0, 13) ^ Mul(a1, 9) ^ Mul(a2, 14) ^ Mul(a3, 11);
+    col[3] = Mul(a0, 11) ^ Mul(a1, 13) ^ Mul(a2, 9) ^ Mul(a3, 14);
+  }
+}
+
+}  // namespace
+
+void Aes::EncryptBlock(const uint8_t in[16], uint8_t out[16]) const {
+  uint8_t state[16];
+  std::memcpy(state, in, 16);
+  AddRoundKey(state, round_keys_);
+  for (int round = 1; round < rounds_; ++round) {
+    SubBytes(state);
+    ShiftRows(state);
+    MixColumns(state);
+    AddRoundKey(state, round_keys_ + 4 * round);
+  }
+  SubBytes(state);
+  ShiftRows(state);
+  AddRoundKey(state, round_keys_ + 4 * rounds_);
+  std::memcpy(out, state, 16);
+}
+
+void Aes::DecryptBlock(const uint8_t in[16], uint8_t out[16]) const {
+  uint8_t state[16];
+  std::memcpy(state, in, 16);
+  AddRoundKey(state, round_keys_ + 4 * rounds_);
+  for (int round = rounds_ - 1; round >= 1; --round) {
+    InvShiftRows(state);
+    InvSubBytes(state);
+    AddRoundKey(state, round_keys_ + 4 * round);
+    InvMixColumns(state);
+  }
+  InvShiftRows(state);
+  InvSubBytes(state);
+  AddRoundKey(state, round_keys_);
+  std::memcpy(out, state, 16);
+}
+
+Result<Bytes> AesCbcEncrypt(const Bytes& key, const Bytes& iv,
+                            const Bytes& plaintext) {
+  if (iv.size() != Aes::kBlockSize) {
+    return Status::InvalidArgument("CBC IV must be 16 bytes");
+  }
+  ASSIGN_OR_RETURN(Aes aes, Aes::Create(key));
+
+  // PKCS#7 pad.
+  size_t pad = Aes::kBlockSize - plaintext.size() % Aes::kBlockSize;
+  Bytes padded = plaintext;
+  padded.insert(padded.end(), pad, static_cast<uint8_t>(pad));
+
+  Bytes out(padded.size());
+  uint8_t prev[16];
+  std::memcpy(prev, iv.data(), 16);
+  for (size_t off = 0; off < padded.size(); off += 16) {
+    uint8_t block[16];
+    for (int i = 0; i < 16; ++i) block[i] = padded[off + i] ^ prev[i];
+    aes.EncryptBlock(block, out.data() + off);
+    std::memcpy(prev, out.data() + off, 16);
+  }
+  return out;
+}
+
+Result<Bytes> AesCbcDecrypt(const Bytes& key, const Bytes& iv,
+                            const Bytes& ciphertext) {
+  if (iv.size() != Aes::kBlockSize) {
+    return Status::InvalidArgument("CBC IV must be 16 bytes");
+  }
+  if (ciphertext.empty() || ciphertext.size() % Aes::kBlockSize != 0) {
+    return Status::InvalidArgument("CBC ciphertext not block aligned");
+  }
+  ASSIGN_OR_RETURN(Aes aes, Aes::Create(key));
+
+  Bytes out(ciphertext.size());
+  uint8_t prev[16];
+  std::memcpy(prev, iv.data(), 16);
+  for (size_t off = 0; off < ciphertext.size(); off += 16) {
+    uint8_t block[16];
+    aes.DecryptBlock(ciphertext.data() + off, block);
+    for (int i = 0; i < 16; ++i) out[off + i] = block[i] ^ prev[i];
+    std::memcpy(prev, ciphertext.data() + off, 16);
+  }
+
+  uint8_t pad = out.back();
+  if (pad == 0 || pad > Aes::kBlockSize || pad > out.size()) {
+    return Status::Corruption("bad PKCS#7 padding");
+  }
+  for (size_t i = out.size() - pad; i < out.size(); ++i) {
+    if (out[i] != pad) return Status::Corruption("bad PKCS#7 padding");
+  }
+  out.resize(out.size() - pad);
+  return out;
+}
+
+Result<Bytes> AesCtr(const Bytes& key, const Bytes& nonce, const Bytes& data) {
+  if (nonce.size() != Aes::kBlockSize) {
+    return Status::InvalidArgument("CTR nonce must be 16 bytes");
+  }
+  ASSIGN_OR_RETURN(Aes aes, Aes::Create(key));
+
+  Bytes out(data.size());
+  uint8_t counter[16];
+  std::memcpy(counter, nonce.data(), 16);
+  uint8_t keystream[16];
+  for (size_t off = 0; off < data.size(); off += 16) {
+    aes.EncryptBlock(counter, keystream);
+    size_t n = std::min<size_t>(16, data.size() - off);
+    for (size_t i = 0; i < n; ++i) out[off + i] = data[off + i] ^ keystream[i];
+    // Increment the big-endian counter in the low 8 bytes.
+    for (int i = 15; i >= 8; --i) {
+      if (++counter[i] != 0) break;
+    }
+  }
+  return out;
+}
+
+}  // namespace ironsafe::crypto

@@ -1,0 +1,107 @@
+#include "crypto/chacha20.h"
+
+#include <cstring>
+
+#include "crypto/sha256.h"
+
+namespace ironsafe::crypto {
+
+namespace {
+
+uint32_t Rotl(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+void QuarterRound(uint32_t* s, int a, int b, int c, int d) {
+  s[a] += s[b]; s[d] ^= s[a]; s[d] = Rotl(s[d], 16);
+  s[c] += s[d]; s[b] ^= s[c]; s[b] = Rotl(s[b], 12);
+  s[a] += s[b]; s[d] ^= s[a]; s[d] = Rotl(s[d], 8);
+  s[c] += s[d]; s[b] ^= s[c]; s[b] = Rotl(s[b], 7);
+}
+
+void Block(const uint32_t key[8], uint32_t counter, const uint32_t nonce[3],
+           uint8_t out[64]) {
+  uint32_t state[16] = {0x61707865, 0x3320646e, 0x79622d32, 0x6b206574,
+                        key[0],     key[1],     key[2],     key[3],
+                        key[4],     key[5],     key[6],     key[7],
+                        counter,    nonce[0],   nonce[1],   nonce[2]};
+  uint32_t working[16];
+  std::memcpy(working, state, sizeof(state));
+  for (int i = 0; i < 10; ++i) {
+    QuarterRound(working, 0, 4, 8, 12);
+    QuarterRound(working, 1, 5, 9, 13);
+    QuarterRound(working, 2, 6, 10, 14);
+    QuarterRound(working, 3, 7, 11, 15);
+    QuarterRound(working, 0, 5, 10, 15);
+    QuarterRound(working, 1, 6, 11, 12);
+    QuarterRound(working, 2, 7, 8, 13);
+    QuarterRound(working, 3, 4, 9, 14);
+  }
+  for (int i = 0; i < 16; ++i) {
+    uint32_t v = working[i] + state[i];
+    out[4 * i] = static_cast<uint8_t>(v);
+    out[4 * i + 1] = static_cast<uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<uint8_t>(v >> 24);
+  }
+}
+
+void LoadWords(const uint8_t* in, uint32_t* out, int n) {
+  for (int i = 0; i < n; ++i) out[i] = GetU32(in + 4 * i);
+}
+
+}  // namespace
+
+Result<Bytes> ChaCha20(const Bytes& key, const Bytes& nonce, uint32_t counter,
+                       const Bytes& data) {
+  if (key.size() != 32) {
+    return Status::InvalidArgument("ChaCha20 key must be 32 bytes");
+  }
+  if (nonce.size() != 12) {
+    return Status::InvalidArgument("ChaCha20 nonce must be 12 bytes");
+  }
+  uint32_t k[8], n[3];
+  LoadWords(key.data(), k, 8);
+  LoadWords(nonce.data(), n, 3);
+
+  Bytes out(data.size());
+  uint8_t keystream[64];
+  for (size_t off = 0; off < data.size(); off += 64) {
+    Block(k, counter++, n, keystream);
+    size_t take = std::min<size_t>(64, data.size() - off);
+    for (size_t i = 0; i < take; ++i) out[off + i] = data[off + i] ^ keystream[i];
+  }
+  return out;
+}
+
+Drbg::Drbg(const Bytes& seed) : key_(Sha256::Hash(seed)) {}
+
+void Drbg::Ratchet() {
+  uint32_t k[8];
+  for (int i = 0; i < 8; ++i) k[i] = GetU32(key_.data() + 4 * i);
+  uint32_t nonce[3] = {static_cast<uint32_t>(block_),
+                       static_cast<uint32_t>(block_ >> 32), 0x64726267};
+  uint8_t buf[64];
+  Block(k, 0, nonce, buf);
+  ++block_;
+  // First 32 bytes become the next key (forward secrecy); the rest is output.
+  key_.assign(buf, buf + 32);
+  pool_.insert(pool_.end(), buf + 32, buf + 64);
+}
+
+void Drbg::Generate(uint8_t* out, size_t len) {
+  size_t produced = 0;
+  while (produced < len) {
+    if (pool_.empty()) Ratchet();
+    size_t take = std::min(len - produced, pool_.size());
+    std::memcpy(out + produced, pool_.data(), take);
+    pool_.erase(pool_.begin(), pool_.begin() + take);
+    produced += take;
+  }
+}
+
+Bytes Drbg::Generate(size_t len) {
+  Bytes out(len);
+  Generate(out.data(), len);
+  return out;
+}
+
+}  // namespace ironsafe::crypto

@@ -1,0 +1,41 @@
+#ifndef IRONSAFE_CRYPTO_CHACHA20_H_
+#define IRONSAFE_CRYPTO_CHACHA20_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace ironsafe::crypto {
+
+/// ChaCha20 stream cipher (RFC 7539). key = 32 bytes, nonce = 12 bytes.
+/// Encrypt == decrypt. `counter` is the initial block counter.
+Result<Bytes> ChaCha20(const Bytes& key, const Bytes& nonce, uint32_t counter,
+                       const Bytes& data);
+
+/// Deterministic random bit generator built on ChaCha20. Seeded explicitly
+/// so the whole simulation is reproducible; reseeds itself by ratcheting.
+class Drbg {
+ public:
+  /// Seeds from arbitrary bytes (hashed into a 32-byte key).
+  explicit Drbg(const Bytes& seed);
+
+  /// Fills `out` with pseudorandom bytes.
+  void Generate(uint8_t* out, size_t len);
+  Bytes Generate(size_t len);
+
+  /// Convenience: a fresh random 16-byte IV / 32-byte key.
+  Bytes RandomIv() { return Generate(16); }
+  Bytes RandomKey() { return Generate(32); }
+
+ private:
+  void Ratchet();
+
+  Bytes key_;        // 32 bytes
+  uint64_t block_ = 0;
+  Bytes pool_;       // unconsumed keystream
+};
+
+}  // namespace ironsafe::crypto
+
+#endif  // IRONSAFE_CRYPTO_CHACHA20_H_

@@ -1,0 +1,34 @@
+#ifndef IRONSAFE_CRYPTO_ED25519_H_
+#define IRONSAFE_CRYPTO_ED25519_H_
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace ironsafe::crypto {
+
+/// Ed25519 key pair. `private_key` is 64 bytes (32-byte seed || 32-byte
+/// public key, the libsodium/TweetNaCl layout); `public_key` is 32 bytes.
+struct Ed25519KeyPair {
+  Bytes public_key;
+  Bytes private_key;
+};
+
+/// Deterministically derives a key pair from a 32-byte seed (RFC 8032).
+Result<Ed25519KeyPair> Ed25519KeyPairFromSeed(const Bytes& seed);
+
+/// Produces a 64-byte detached signature. `private_key` must be 64 bytes.
+Result<Bytes> Ed25519Sign(const Bytes& private_key, const Bytes& message);
+
+/// Verifies a 64-byte detached signature against a 32-byte public key.
+bool Ed25519Verify(const Bytes& public_key, const Bytes& message,
+                   const Bytes& signature);
+
+/// X25519 Diffie-Hellman (RFC 7748). Both arguments are 32 bytes.
+Result<Bytes> X25519(const Bytes& scalar, const Bytes& point);
+
+/// X25519 with the standard base point (u = 9): derives a public key.
+Result<Bytes> X25519Base(const Bytes& scalar);
+
+}  // namespace ironsafe::crypto
+
+#endif  // IRONSAFE_CRYPTO_ED25519_H_

@@ -1,0 +1,74 @@
+#include "crypto/hmac.h"
+
+#include "crypto/sha256.h"
+#include "crypto/sha512.h"
+
+namespace ironsafe::crypto {
+
+namespace {
+
+template <typename Hash>
+Bytes HmacImpl(const Bytes& key, const Bytes& message) {
+  constexpr size_t kBlock = Hash::kBlockSize;
+  Bytes k = key;
+  if (k.size() > kBlock) k = Hash::Hash(k);
+  k.resize(kBlock, 0);
+
+  Bytes ipad(kBlock), opad(kBlock);
+  for (size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Hash inner;
+  inner.Update(ipad);
+  inner.Update(message);
+  Bytes inner_digest = inner.Final();
+
+  Hash outer;
+  outer.Update(opad);
+  outer.Update(inner_digest);
+  return outer.Final();
+}
+
+}  // namespace
+
+Bytes HmacSha256(const Bytes& key, const Bytes& message) {
+  return HmacImpl<Sha256>(key, message);
+}
+
+Bytes HmacSha512(const Bytes& key, const Bytes& message) {
+  return HmacImpl<Sha512>(key, message);
+}
+
+bool VerifyHmacSha256(const Bytes& key, const Bytes& message,
+                      const Bytes& mac) {
+  return ConstantTimeEqual(HmacSha256(key, message), mac);
+}
+
+bool VerifyHmacSha512(const Bytes& key, const Bytes& message,
+                      const Bytes& mac) {
+  return ConstantTimeEqual(HmacSha512(key, message), mac);
+}
+
+Bytes HkdfSha256(const Bytes& salt, const Bytes& ikm, const Bytes& info,
+                 size_t length) {
+  // Extract.
+  Bytes prk = HmacSha256(salt.empty() ? Bytes(Sha256::kDigestSize, 0) : salt,
+                         ikm);
+  // Expand.
+  Bytes okm;
+  Bytes t;
+  uint8_t counter = 1;
+  while (okm.size() < length) {
+    Bytes block = t;
+    Append(&block, info);
+    block.push_back(counter++);
+    t = HmacSha256(prk, block);
+    Append(&okm, t);
+  }
+  okm.resize(length);
+  return okm;
+}
+
+}  // namespace ironsafe::crypto

@@ -1,0 +1,24 @@
+#ifndef IRONSAFE_CRYPTO_HMAC_H_
+#define IRONSAFE_CRYPTO_HMAC_H_
+
+#include "common/bytes.h"
+
+namespace ironsafe::crypto {
+
+/// HMAC (RFC 2104) over SHA-256 / SHA-512. One-shot interfaces; keys of
+/// any length are handled per the RFC (hashed if longer than a block).
+Bytes HmacSha256(const Bytes& key, const Bytes& message);
+Bytes HmacSha512(const Bytes& key, const Bytes& message);
+
+/// Verifies in constant time. Returns true iff mac == HMAC(key, message).
+bool VerifyHmacSha256(const Bytes& key, const Bytes& message, const Bytes& mac);
+bool VerifyHmacSha512(const Bytes& key, const Bytes& message, const Bytes& mac);
+
+/// HKDF (RFC 5869) with HMAC-SHA-256: extract-then-expand key derivation.
+/// Returns `length` bytes of output keying material.
+Bytes HkdfSha256(const Bytes& salt, const Bytes& ikm, const Bytes& info,
+                 size_t length);
+
+}  // namespace ironsafe::crypto
+
+#endif  // IRONSAFE_CRYPTO_HMAC_H_

@@ -1,0 +1,307 @@
+#include "engine/csa_system.h"
+
+#include "net/wire.h"
+#include "sql/parser.h"
+
+namespace ironsafe::engine {
+
+std::string_view SystemConfigName(SystemConfig config) {
+  switch (config) {
+    case SystemConfig::kHons:
+      return "hons";
+    case SystemConfig::kHos:
+      return "hos";
+    case SystemConfig::kVcs:
+      return "vcs";
+    case SystemConfig::kScs:
+      return "scs";
+    case SystemConfig::kSos:
+      return "sos";
+  }
+  return "?";
+}
+
+void ConfigurablePageStore::ClearCache() {
+  lru_.clear();
+  cached_.clear();
+  cache_hits_ = 0;
+}
+
+Result<Bytes> ConfigurablePageStore::ReadPage(uint64_t id,
+                                              sim::CostModel* cost) {
+  // Page-cache hit: the decrypted page already sits in engine memory, so
+  // no device, network, enclave, or crypto work is charged.
+  if (cache_capacity_ > 0) {
+    auto it = cached_.find(id);
+    if (it != cached_.end()) {
+      lru_.erase(it->second);
+      lru_.push_front(id);
+      it->second = lru_.begin();
+      ++cache_hits_;
+      return inner_->ReadPage(id, nullptr);
+    }
+  }
+
+  ASSIGN_OR_RETURN(Bytes page, inner_->ReadPage(id, cost));
+  ++pages_read_;
+
+  if (cache_capacity_ > 0) {
+    lru_.push_front(id);
+    cached_[id] = lru_.begin();
+    if (cached_.size() > cache_capacity_) {
+      cached_.erase(lru_.back());
+      lru_.pop_back();
+    }
+  }
+  if (remote_ && cost != nullptr) cost->ChargeNetworkBytes(page.size());
+  if (enclave_ != nullptr) {
+    // The enclave exits to fetch the page (SCONE-style ocall, §6.2).
+    enclave_->EnterExit(cost);
+    // Verifying a page inside the enclave touches the data page plus one
+    // Merkle node per tree level. With a working set beyond the EPC, a
+    // fraction ≈ 1 - EPC/working_set of those touches fault — the
+    // paging behaviour §6.3 attributes to host-only secure execution
+    // ("the space is taken up by the Merkle tree ... causes EPC paging").
+    if (cost != nullptr && working_set_bytes_ > 0) {
+      uint64_t epc = cost->profile().sgx.epc_bytes;
+      double fault_fraction =
+          1.0 - std::min(1.0, static_cast<double>(epc) /
+                                  static_cast<double>(working_set_bytes_));
+      uint64_t touches = 1 + merkle_depth_;
+      auto faults = static_cast<uint64_t>(fault_fraction * touches + 0.5);
+      for (uint64_t i = 0; i < faults; ++i) cost->ChargeEpcFault();
+    } else {
+      enclave_->TouchMemory(id, page.size(), cost);
+    }
+  }
+  return page;
+}
+
+Status ConfigurablePageStore::WritePage(uint64_t id, const Bytes& page,
+                                        sim::CostModel* cost) {
+  auto it = cached_.find(id);
+  if (it != cached_.end()) {
+    lru_.erase(it->second);
+    cached_.erase(it);
+  }
+  if (remote_ && cost != nullptr) cost->ChargeNetworkBytes(page.size());
+  return inner_->WritePage(id, page, cost);
+}
+
+CsaSystem::CsaSystem(const CsaOptions& options)
+    : options_(options),
+      host_machine_(ToBytes("ironsafe-host-platform")),
+      manufacturer_(ToBytes("ironsafe-device-manufacturer")),
+      storage_device_(ToBytes("ironsafe-storage-lx2160a"), manufacturer_,
+                      tee::StorageNodeConfig{"storage-1", "eu-west-1", 3}),
+      storage_ta_(&storage_device_),
+      plain_store_(&plain_disk_),
+      channel_drbg_(ToBytes("csa-channel-drbg")) {
+  host_enclave_ =
+      host_machine_.LoadEnclave("host-engine", ToBytes("ironsafe host engine v3"));
+  storage_device_.Boot(
+      {{"BL2", ToBytes("bl2 v3")},
+       {"TrustedOS", ToBytes("op-tee 3.4")},
+       {"NormalWorld", ToBytes("linux 5.4.3 + ironsafe storage engine v3")}});
+}
+
+Result<std::unique_ptr<CsaSystem>> CsaSystem::Create(
+    const CsaOptions& options) {
+  auto system = std::unique_ptr<CsaSystem>(new CsaSystem(options));
+  ASSIGN_OR_RETURN(system->secure_store_,
+                   securestore::SecureStore::Create(&system->secure_disk_,
+                                                    &system->storage_ta_));
+  system->secure_page_store_ =
+      std::make_unique<sql::SecurePageStore>(system->secure_store_.get());
+  system->plain_access_ =
+      std::make_unique<ConfigurablePageStore>(&system->plain_store_);
+  system->secure_access_ =
+      std::make_unique<ConfigurablePageStore>(system->secure_page_store_.get());
+  system->plain_db_ = sql::Database::CreatePaged(system->plain_access_.get());
+  system->secure_db_ = sql::Database::CreatePaged(system->secure_access_.get());
+  return system;
+}
+
+Status CsaSystem::Load(const std::function<Status(sql::Database*)>& loader) {
+  RETURN_IF_ERROR(loader(plain_db_.get()));
+  RETURN_IF_ERROR(loader(secure_db_.get()));
+
+  // Preserve the paper's database:EPC pressure ratio (§6.1: ~3 GB of
+  // TPC-H against a 96 MiB EPC, i.e. ~32:1) at this scale factor.
+  if (options_.scale_epc_to_data) {
+    uint64_t data_bytes = secure_store_->num_pages() * 4096;
+    options_.hardware.sgx.epc_bytes =
+        std::max<uint64_t>(16 * 4096, data_bytes * 96 / 3072);
+  }
+  uint64_t data_bytes = secure_store_->num_pages() * 4096;
+  uint64_t tree_bytes = secure_store_->num_pages() * 96;  // leaf + inner MACs
+  secure_access_->set_secure_profile(secure_store_->merkle_depth(),
+                                     data_bytes + tree_bytes);
+  return Status::OK();
+}
+
+sql::ExecOptions CsaSystem::StorageExecOptions() const {
+  sql::ExecOptions opts;
+  opts.site = sim::Site::kStorage;
+  opts.parallelism = options_.storage_cores;
+  opts.memory_cap_bytes = options_.storage_memory_bytes;
+  return opts;
+}
+
+Result<QueryOutcome> CsaSystem::Run(SystemConfig config,
+                                    const std::string& sql) {
+  switch (config) {
+    case SystemConfig::kHons:
+      return RunHostOnly(sql, /*secure=*/false);
+    case SystemConfig::kHos:
+      return RunHostOnly(sql, /*secure=*/true);
+    case SystemConfig::kVcs:
+      return RunSplit(sql, /*secure=*/false);
+    case SystemConfig::kScs:
+      return RunSplit(sql, /*secure=*/true);
+    case SystemConfig::kSos:
+      return RunStorageOnly(sql);
+  }
+  return Status::InvalidArgument("unknown system configuration");
+}
+
+Result<QueryOutcome> CsaSystem::RunHostOnly(const std::string& sql,
+                                            bool secure) {
+  QueryOutcome outcome;
+  outcome.cost = sim::CostModel(options_.hardware);
+  sql::Database* db = secure ? secure_db_.get() : plain_db_.get();
+  ConfigurablePageStore* access =
+      secure ? secure_access_.get() : plain_access_.get();
+
+  access->ResetCounters();
+  access->ClearCache();
+  access->set_cache_bytes(64ull << 30);  // host RAM holds the page cache
+  access->set_remote(true);  // pages cross the network (NFS, §6.1)
+  if (secure) {
+    // Secure-store verification happens on the host CPU; the host engine
+    // runs inside the enclave.
+    secure_store_->set_site(sim::Site::kHost);
+    access->set_enclave(host_enclave_.get());
+    host_enclave_->ClearMemory();
+  }
+
+  sql::ExecOptions opts;  // host site, single query thread
+  auto result = db->Execute(sql, &outcome.cost, opts);
+
+  access->set_remote(false);
+  access->set_enclave(nullptr);
+  if (secure) secure_store_->set_site(sim::Site::kStorage);
+  RETURN_IF_ERROR(result.status());
+
+  outcome.result = std::move(*result);
+  outcome.host_pages_read = access->pages_read();
+  outcome.host_phase_ns = outcome.cost.elapsed_ns();
+  return outcome;
+}
+
+Result<QueryOutcome> CsaSystem::RunStorageOnly(const std::string& sql) {
+  QueryOutcome outcome;
+  outcome.cost = sim::CostModel(options_.hardware);
+  secure_store_->set_site(sim::Site::kStorage);
+  secure_access_->ResetCounters();
+  secure_access_->ClearCache();
+  secure_access_->set_cache_bytes(options_.storage_memory_bytes);
+  secure_access_->set_remote(false);
+  secure_access_->set_enclave(nullptr);
+
+  auto result =
+      secure_db_->Execute(sql, &outcome.cost, StorageExecOptions());
+  RETURN_IF_ERROR(result.status());
+  outcome.result = std::move(*result);
+  outcome.storage_pages_read = secure_access_->pages_read();
+  outcome.storage_phase_ns = outcome.cost.elapsed_ns();
+  return outcome;
+}
+
+Result<QueryOutcome> CsaSystem::RunSplit(const std::string& sql, bool secure) {
+  QueryOutcome outcome;
+  outcome.cost = sim::CostModel(options_.hardware);
+  sql::Database* storage_db = secure ? secure_db_.get() : plain_db_.get();
+  ConfigurablePageStore* access =
+      secure ? secure_access_.get() : plain_access_.get();
+
+  ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectStmt> stmt,
+                   sql::ParseSelect(sql));
+  PartitionOptions part_options;
+  part_options.aggregation_pushdown = options_.aggregation_pushdown;
+  ASSIGN_OR_RETURN(PartitionedQuery plan,
+                   PartitionQuery(*stmt, *storage_db, part_options));
+
+  access->ResetCounters();
+  access->ClearCache();
+  access->set_cache_bytes(options_.storage_memory_bytes);
+  access->set_remote(false);
+  access->set_enclave(nullptr);
+  if (secure) secure_store_->set_site(sim::Site::kStorage);
+
+  // Secure configurations ship fragments through an authenticated
+  // encrypted channel whose key the monitor distributed (§4.2/§5).
+  std::unique_ptr<net::SecureChannel> storage_end;
+  std::unique_ptr<net::SecureChannel> host_end;
+  if (secure) {
+    Bytes session_key = channel_drbg_.Generate(32);
+    ASSIGN_OR_RETURN(auto pair, net::Handshake::FromSessionKey(session_key));
+    host_end = std::move(pair.first);
+    storage_end = std::move(pair.second);
+  }
+
+  // Phase 1: near-data fragments on the storage engine.
+  auto host_db = sql::Database::CreateInMemory();
+  for (const auto& frag : plan.fragments) {
+    ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectStmt> frag_stmt,
+                     sql::ParseSelect(frag.sql));
+    auto frag_result =
+        sql::ExecuteSelect(storage_db, *frag_stmt, nullptr, &outcome.cost,
+                           StorageExecOptions(), &outcome.stats);
+    RETURN_IF_ERROR(frag_result.status());
+
+    // Ship the record batch to the host.
+    Bytes wire = net::SerializeResult(*frag_result);
+    outcome.shipped_bytes += wire.size();
+    sql::QueryResult shipped;
+    if (secure) {
+      ASSIGN_OR_RETURN(Bytes frame, storage_end->Send(wire, &outcome.cost));
+      // Receiving on the host enters the enclave once per batch.
+      host_enclave_->EnterExit(&outcome.cost);
+      ASSIGN_OR_RETURN(Bytes opened, host_end->Receive(frame, &outcome.cost));
+      ASSIGN_OR_RETURN(shipped, net::DeserializeResult(opened));
+    } else {
+      outcome.cost.ChargeNetwork(wire.size());
+      ASSIGN_OR_RETURN(shipped, net::DeserializeResult(wire));
+    }
+
+    // Materialize as an in-memory host table; inside the enclave the
+    // rows occupy EPC.
+    if (secure) {
+      host_enclave_->TouchMemory(
+          0x10000 + outcome.shipped_bytes / 4096, wire.size(), &outcome.cost);
+    }
+    sql::Schema schema = shipped.schema;
+    RETURN_IF_ERROR(host_db->CreateTable(frag.dest_table, schema));
+    ASSIGN_OR_RETURN(sql::Table * table, host_db->GetTable(frag.dest_table));
+    for (auto& row : shipped.rows) {
+      RETURN_IF_ERROR(table->Append(row, nullptr));
+    }
+  }
+  outcome.storage_pages_read = access->pages_read();
+  outcome.storage_phase_ns = outcome.cost.elapsed_ns();
+
+  // Phase 2: the host engine runs the remainder over the shipped tables.
+  sql::ExecOptions host_opts;  // host site
+  auto host_result =
+      sql::ExecuteSelect(host_db.get(), *plan.host_query, nullptr,
+                         &outcome.cost, host_opts, &outcome.stats);
+  RETURN_IF_ERROR(host_result.status());
+  if (secure) host_enclave_->ClearMemory();
+
+  outcome.result = std::move(*host_result);
+  outcome.host_phase_ns = outcome.cost.elapsed_ns() - outcome.storage_phase_ns;
+  return outcome;
+}
+
+}  // namespace ironsafe::engine

@@ -1,0 +1,187 @@
+#ifndef IRONSAFE_ENGINE_CSA_SYSTEM_H_
+#define IRONSAFE_ENGINE_CSA_SYSTEM_H_
+
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "engine/partitioner.h"
+#include "net/secure_channel.h"
+#include "securestore/secure_store.h"
+#include "sim/cost_model.h"
+#include "sql/database.h"
+#include "storage/block_device.h"
+#include "tee/sgx.h"
+#include "tee/trustzone.h"
+
+namespace ironsafe::engine {
+
+/// The five system configurations of the paper's Table 2.
+enum class SystemConfig {
+  kHons,  ///< host-only, non-secure (NFS-attached storage)
+  kHos,   ///< host-only, secure (SGX enclave + secure storage over NFS)
+  kVcs,   ///< vanilla computational storage (split execution, no security)
+  kScs,   ///< IronSafe: secure computational storage
+  kSos,   ///< storage-only, secure
+};
+
+std::string_view SystemConfigName(SystemConfig config);
+
+/// Testbed knobs, mirroring §6.1 and the constrained-resource sweeps.
+struct CsaOptions {
+  double scale_factor = 0.002;
+  uint64_t seed = 7;
+  sim::HardwareProfile hardware = sim::HardwareProfile::Paper();
+  int storage_cores = 16;                                  ///< Figure 10
+  uint64_t storage_memory_bytes = 32ull * 1024 * 1024 * 1024;  ///< Figure 11
+  /// Keeps the paper's database:EPC ratio (~3 GB : 96 MiB) at the bench
+  /// scale factor, so host-only secure execution experiences the same
+  /// EPC pressure the paper measured. Disable for sweeps that pin the
+  /// EPC size themselves (Figure 9a).
+  bool scale_epc_to_data = true;
+  /// Enables whole-query (aggregation) pushdown in the partitioner —
+  /// the paper's §8 future work, exercised by the ablation bench.
+  bool aggregation_pushdown = false;
+};
+
+/// Everything measured about one query execution.
+struct QueryOutcome {
+  sql::QueryResult result;
+  sim::CostModel cost;           ///< simulated time + component breakdown
+  uint64_t shipped_bytes = 0;    ///< storage -> host result shipping
+  uint64_t storage_pages_read = 0;
+  uint64_t host_pages_read = 0;  ///< pages pulled to the host (host-only)
+  sim::SimNanos storage_phase_ns = 0;
+  sim::SimNanos host_phase_ns = 0;
+  sql::ExecStats stats;
+};
+
+/// Page-store decorator whose access mode is switched per configuration:
+/// optionally ships each page over the network (NFS-style host access)
+/// and optionally routes each access through the host enclave (charging
+/// transitions and EPC residency).
+class ConfigurablePageStore : public sql::PageStore {
+ public:
+  explicit ConfigurablePageStore(sql::PageStore* inner) : inner_(inner) {}
+
+  void set_remote(bool remote) { remote_ = remote; }
+  void set_enclave(tee::SgxEnclave* enclave) { enclave_ = enclave; }
+
+  /// Page cache: the engine holds up to `bytes` of decrypted pages in
+  /// its (enclave or storage-application) memory — re-reads of cached
+  /// pages skip disk, network, and crypto. This is what the storage
+  /// memory budget of Figure 11 buys. Cleared per query (cold cache).
+  void set_cache_bytes(uint64_t bytes) { cache_capacity_ = bytes / 4096; }
+  void ClearCache();
+  uint64_t cache_hits() const { return cache_hits_; }
+
+  /// When reads run inside the enclave, each page verification walks the
+  /// Merkle path: one node per level, plus the data page itself. With an
+  /// enclave working set (data stream + tree + engine heap) larger than
+  /// the EPC, a fraction ≈ 1 - EPC/working_set of those accesses fault
+  /// (paper §6.3: "the space is taken up by the Merkle tree ... causes
+  /// EPC paging"). `working_set_bytes` is data + tree.
+  void set_secure_profile(uint64_t merkle_depth, uint64_t working_set_bytes) {
+    merkle_depth_ = merkle_depth;
+    working_set_bytes_ = working_set_bytes;
+  }
+
+  Result<Bytes> ReadPage(uint64_t id, sim::CostModel* cost) override;
+  Status WritePage(uint64_t id, const Bytes& page,
+                   sim::CostModel* cost) override;
+  uint64_t Allocate() override { return inner_->Allocate(); }
+  uint64_t num_pages() const override { return inner_->num_pages(); }
+  void BeginBatch() override { inner_->BeginBatch(); }
+  Status EndBatch() override { return inner_->EndBatch(); }
+
+  uint64_t pages_read() const { return pages_read_; }
+  void ResetCounters() { pages_read_ = 0; }
+
+ private:
+  sql::PageStore* inner_;
+  bool remote_ = false;
+  tee::SgxEnclave* enclave_ = nullptr;
+  uint64_t merkle_depth_ = 0;
+  uint64_t working_set_bytes_ = 0;
+  uint64_t pages_read_ = 0;
+
+  uint64_t cache_capacity_ = 0;  // pages; 0 disables caching
+  uint64_t cache_hits_ = 0;
+  std::list<uint64_t> lru_;
+  std::map<uint64_t, std::list<uint64_t>::iterator> cached_;
+};
+
+/// The simulated heterogeneous testbed: an SGX host plus a TrustZone
+/// storage server with direct-attached NVMe, loaded with the same data
+/// twice (plaintext and secure store) so all five configurations of
+/// Table 2 run against identical content.
+class CsaSystem {
+ public:
+  static Result<std::unique_ptr<CsaSystem>> Create(const CsaOptions& options);
+
+  /// Loads a workload into both databases via `loader` (called twice).
+  Status Load(const std::function<Status(sql::Database*)>& loader);
+
+  /// Executes `sql` under `config`, returning results plus the simulated
+  /// cost account. All configurations of the same query return identical
+  /// rows — only the placement/security work differs.
+  Result<QueryOutcome> Run(SystemConfig config, const std::string& sql);
+
+  const CsaOptions& options() const { return options_; }
+
+  /// Runtime knobs for the constrained-resource sweeps (Figures 10/11):
+  /// affect only the cost model, not the stored data.
+  void set_storage_cores(int cores) { options_.storage_cores = cores; }
+  void set_storage_memory_bytes(uint64_t bytes) {
+    options_.storage_memory_bytes = bytes;
+  }
+  void set_aggregation_pushdown(bool on) {
+    options_.aggregation_pushdown = on;
+  }
+  sql::Database* plain_db() { return plain_db_.get(); }
+  sql::Database* secure_db() { return secure_db_.get(); }
+  tee::SgxEnclave* host_enclave() { return host_enclave_.get(); }
+  tee::TrustZoneDevice* storage_device() { return &storage_device_; }
+  securestore::SecureStore* secure_store() { return secure_store_.get(); }
+
+  /// The host engine's enclave image measurement (for attestation).
+  tee::SgxMachine* host_machine() { return &host_machine_; }
+
+  /// Root of trust that certified the storage device (ROTPK anchor).
+  const tee::DeviceManufacturer& manufacturer() const { return manufacturer_; }
+
+ private:
+  explicit CsaSystem(const CsaOptions& options);
+
+  Result<QueryOutcome> RunHostOnly(const std::string& sql, bool secure);
+  Result<QueryOutcome> RunSplit(const std::string& sql, bool secure);
+  Result<QueryOutcome> RunStorageOnly(const std::string& sql);
+
+  sql::ExecOptions StorageExecOptions() const;
+
+  CsaOptions options_;
+
+  // Host side.
+  tee::SgxMachine host_machine_;
+  std::unique_ptr<tee::SgxEnclave> host_enclave_;
+
+  // Storage side.
+  tee::DeviceManufacturer manufacturer_;
+  tee::TrustZoneDevice storage_device_;
+  securestore::SecureStorageTa storage_ta_;
+  storage::BlockDevice plain_disk_;
+  storage::BlockDevice secure_disk_;
+  sql::PlainPageStore plain_store_;
+  std::unique_ptr<securestore::SecureStore> secure_store_;
+  std::unique_ptr<sql::SecurePageStore> secure_page_store_;
+  std::unique_ptr<ConfigurablePageStore> plain_access_;
+  std::unique_ptr<ConfigurablePageStore> secure_access_;
+  std::unique_ptr<sql::Database> plain_db_;
+  std::unique_ptr<sql::Database> secure_db_;
+  crypto::Drbg channel_drbg_;
+};
+
+}  // namespace ironsafe::engine
+
+#endif  // IRONSAFE_ENGINE_CSA_SYSTEM_H_

@@ -1,0 +1,139 @@
+#include "engine/ironsafe.h"
+
+namespace ironsafe::engine {
+
+Result<std::unique_ptr<IronSafeSystem>> IronSafeSystem::Create(
+    const Options& options) {
+  auto system = std::unique_ptr<IronSafeSystem>(new IronSafeSystem());
+  ASSIGN_OR_RETURN(system->csa_, CsaSystem::Create(options.csa));
+
+  // The monitor runs in its own enclave, possibly on the host machine
+  // (§4.2 "Separation between the host engine and trusted monitor").
+  system->monitor_enclave_ = system->csa_->host_machine()->LoadEnclave(
+      "trusted-monitor", ToBytes("ironsafe trusted monitor v3"));
+
+  system->ias_ = std::make_unique<tee::SgxAttestationService>();
+  system->ias_->RegisterPlatform(
+      system->csa_->host_machine()->platform_id(),
+      system->csa_->host_machine()->attestation_public_key());
+
+  system->monitor_ = std::make_unique<monitor::TrustedMonitor>(
+      system->monitor_enclave_.get(), system->ias_.get(),
+      system->csa_->manufacturer().root_public_key());
+  return system;
+}
+
+Status IronSafeSystem::Bootstrap(sim::CostModel* cost) {
+  // Recreate the monitor with the correct manufacturer root (the device
+  // exposes it via its certificate chain's trust anchor).
+  // The monitor trusts the deployment's known-good measurements.
+  monitor_->TrustHostMeasurement(csa_->host_enclave()->measurement());
+  monitor_->TrustStorageMeasurement(
+      csa_->storage_device()->normal_world_hash());
+  monitor_->set_latest_firmware(3, 3);
+
+  // Fig 4.a: host attestation. The host's report data carries its
+  // channel public key; here we bind the enclave measurement.
+  tee::SgxQuote quote =
+      csa_->host_enclave()->GetQuote(csa_->host_enclave()->measurement());
+  RETURN_IF_ERROR(
+      monitor_->AttestHost(quote, "eu-west-1", 3, cost).status());
+
+  // Fig 4.b: storage attestation.
+  Bytes challenge = monitor_->IssueStorageChallenge();
+  ASSIGN_OR_RETURN(tee::TzAttestationResponse response,
+                   csa_->storage_device()->RespondToChallenge(challenge));
+  Status storage_status =
+      monitor_->AttestStorage("storage-1", challenge, response, cost);
+  // A failed storage attestation is not fatal: queries fall back to
+  // host-only execution (§4.2).
+  bootstrapped_ = true;
+  return storage_status;
+}
+
+void IronSafeSystem::RegisterClient(const std::string& key_id,
+                                    int reuse_bit) {
+  monitor_->RegisterClient(key_id, reuse_bit);
+}
+
+Status IronSafeSystem::CreateProtectedTable(const std::string& producer_key,
+                                            const std::string& create_sql,
+                                            const std::string& policy_text,
+                                            bool with_expiry,
+                                            bool with_reuse) {
+  ASSIGN_OR_RETURN(policy::PolicySet policy, policy::ParsePolicy(policy_text));
+  ASSIGN_OR_RETURN(sql::Statement parsed, sql::Parse(create_sql));
+  if (parsed.kind != sql::Statement::Kind::kCreateTable) {
+    return Status::InvalidArgument("expected CREATE TABLE");
+  }
+  monitor::TablePolicy table_policy;
+  table_policy.access = std::move(policy);
+  table_policy.with_expiry = with_expiry;
+  table_policy.with_reuse = with_reuse;
+  RETURN_IF_ERROR(monitor_->RegisterTablePolicy(
+      parsed.create_table->table_name, std::move(table_policy)));
+
+  // Route the CREATE through the normal authorization path so the hidden
+  // columns are appended by the monitor's rewriter.
+  ASSIGN_OR_RETURN(ExecutionResult result,
+                   Execute(producer_key, create_sql));
+  (void)result;
+  return Status::OK();
+}
+
+Result<IronSafeSystem::ExecutionResult> IronSafeSystem::Execute(
+    const std::string& client_key, const std::string& sql,
+    const std::string& execution_policy, std::optional<int64_t> insert_expiry,
+    std::optional<int64_t> insert_reuse) {
+  if (!bootstrapped_) {
+    return Status::FailedPrecondition("call Bootstrap() first");
+  }
+  ExecutionResult exec;
+
+  // Control path: monitor authorization + rewriting (Figure 2 step 2).
+  sim::CostModel monitor_cost;
+  ASSIGN_OR_RETURN(monitor::Authorization auth,
+                   monitor_->AuthorizeStatement(client_key, sql,
+                                                execution_policy,
+                                                insert_expiry, insert_reuse,
+                                                &monitor_cost));
+  exec.monitor_ns = monitor_cost.elapsed_ns();
+
+  // Data path (Figure 2 steps 3-4).
+  if (auth.rewritten.kind == sql::Statement::Kind::kSelect) {
+    exec.rewritten_sql = auth.rewritten.select->ToString();
+    SystemConfig config =
+        auth.storage_eligible ? SystemConfig::kScs : SystemConfig::kHos;
+    exec.offloaded = auth.storage_eligible;
+    ASSIGN_OR_RETURN(QueryOutcome outcome,
+                     csa_->Run(config, exec.rewritten_sql));
+    exec.result = std::move(outcome.result);
+    exec.execution_ns = outcome.cost.elapsed_ns();
+  } else {
+    // DML executes on the storage engine over the secure store.
+    sim::CostModel dml_cost;
+    sql::ExecOptions opts;
+    opts.site = sim::Site::kStorage;
+    auto result =
+        csa_->secure_db()->ExecuteStatement(auth.rewritten, &dml_cost, opts);
+    RETURN_IF_ERROR(result.status());
+    // Keep the testbed's plaintext twin in sync so non-secure baseline
+    // measurements (Table 3) run against identical content.
+    RETURN_IF_ERROR(
+        csa_->plain_db()->ExecuteStatement(auth.rewritten, nullptr).status());
+    exec.result = std::move(*result);
+    exec.execution_ns = dml_cost.elapsed_ns();
+    exec.offloaded = true;
+    // Reconstruct a printable form for the proof.
+    exec.rewritten_sql = sql;
+  }
+
+  // Step 5: proof of compliance + session cleanup.
+  ASSIGN_OR_RETURN(exec.proof, monitor_->IssueProof(exec.rewritten_sql,
+                                                    execution_policy,
+                                                    exec.offloaded));
+  monitor_->EndSession(auth.session_key);
+  return exec;
+}
+
+}  // namespace ironsafe::engine

@@ -1,0 +1,82 @@
+#ifndef IRONSAFE_ENGINE_IRONSAFE_H_
+#define IRONSAFE_ENGINE_IRONSAFE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "engine/csa_system.h"
+#include "monitor/monitor.h"
+
+namespace ironsafe::engine {
+
+/// The full IronSafe deployment (paper Figure 2): client-facing service
+/// over a CSA testbed plus a trusted monitor running in its own enclave.
+///
+/// Lifecycle: Create() -> Bootstrap() (attestation of both engines) ->
+/// data-producer setup (RegisterClient / CreateProtectedTable / policy
+/// registration) -> Execute() per client statement.
+class IronSafeSystem {
+ public:
+  struct Options {
+    CsaOptions csa;
+  };
+
+  static Result<std::unique_ptr<IronSafeSystem>> Create(
+      const Options& options);
+
+  /// Runs the deployment attestation (Figure 4 a+b): the monitor attests
+  /// the host engine enclave and the storage node. On storage attestation
+  /// failure the system stays usable but never offloads (§4.2).
+  Status Bootstrap(sim::CostModel* cost = nullptr);
+
+  /// Registers a client identity (and its reuse-map position, if the
+  /// deployment uses anti-pattern #2).
+  void RegisterClient(const std::string& key_id, int reuse_bit = -1);
+
+  /// Data-producer path: creates a table whose access is governed by
+  /// `policy_text`; the monitor appends hidden policy columns as needed.
+  Status CreateProtectedTable(const std::string& producer_key,
+                              const std::string& create_sql,
+                              const std::string& policy_text,
+                              bool with_expiry, bool with_reuse);
+
+  struct ExecutionResult {
+    sql::QueryResult result;
+    monitor::ComplianceProof proof;
+    bool offloaded = false;
+    sim::SimNanos monitor_ns = 0;    ///< control-path time
+    sim::SimNanos execution_ns = 0;  ///< data-path time
+    sim::SimNanos total_ns() const { return monitor_ns + execution_ns; }
+    std::string rewritten_sql;       ///< what actually executed
+  };
+
+  /// The client entry point (Figure 2 steps 1-5): authorization + policy
+  /// rewriting by the monitor, split (scs) or host-only execution, and a
+  /// signed proof of compliance. `insert_expiry` / `insert_reuse` supply
+  /// hidden-column values when inserting into protected tables.
+  Result<ExecutionResult> Execute(
+      const std::string& client_key, const std::string& sql,
+      const std::string& execution_policy = "",
+      std::optional<int64_t> insert_expiry = std::nullopt,
+      std::optional<int64_t> insert_reuse = std::nullopt);
+
+  monitor::TrustedMonitor* monitor() { return monitor_.get(); }
+  CsaSystem* csa() { return csa_.get(); }
+
+  /// Sets the simulation's current date (drives expiry policies).
+  void set_current_date(int64_t days) { monitor_->set_access_time(days); }
+
+ private:
+  IronSafeSystem() = default;
+
+  std::unique_ptr<CsaSystem> csa_;
+  std::unique_ptr<tee::SgxEnclave> monitor_enclave_;
+  std::unique_ptr<tee::SgxAttestationService> ias_;
+  std::unique_ptr<monitor::TrustedMonitor> monitor_;
+  bool bootstrapped_ = false;
+};
+
+}  // namespace ironsafe::engine
+
+#endif  // IRONSAFE_ENGINE_IRONSAFE_H_

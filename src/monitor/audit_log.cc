@@ -1,0 +1,63 @@
+#include "monitor/audit_log.h"
+
+#include "crypto/sha256.h"
+
+namespace ironsafe::monitor {
+
+Bytes AuditLog::HashEntry(const AuditEntry& entry) {
+  Bytes m;
+  PutU64(&m, entry.seq);
+  PutU64(&m, static_cast<uint64_t>(entry.timestamp));
+  PutLengthPrefixed(&m, entry.log_name);
+  PutLengthPrefixed(&m, entry.client_key_id);
+  PutLengthPrefixed(&m, entry.query);
+  PutLengthPrefixed(&m, entry.prev_hash);
+  return crypto::Sha256::Hash(m);
+}
+
+Status AuditLog::Append(const std::string& log_name,
+                        const std::string& client_key_id,
+                        const std::string& query, int64_t timestamp) {
+  AuditEntry entry;
+  entry.seq = entries_.size();
+  entry.timestamp = timestamp;
+  entry.log_name = log_name;
+  entry.client_key_id = client_key_id;
+  entry.query = query;
+  entry.prev_hash = entries_.empty() ? Bytes(32, 0) : entries_.back().entry_hash;
+  entry.entry_hash = HashEntry(entry);
+  ASSIGN_OR_RETURN(head_signature_,
+                   crypto::Ed25519Sign(signer_.private_key, entry.entry_hash));
+  entries_.push_back(std::move(entry));
+  return Status::OK();
+}
+
+Status AuditLog::Verify(const std::vector<AuditEntry>& entries,
+                        const Bytes& head_signature, const Bytes& public_key) {
+  Bytes prev(32, 0);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const AuditEntry& e = entries[i];
+    if (e.seq != i) {
+      return Status::Corruption("audit entry " + std::to_string(i) +
+                                " has wrong sequence number");
+    }
+    if (e.prev_hash != prev) {
+      return Status::Corruption("audit chain broken before entry " +
+                                std::to_string(i));
+    }
+    if (HashEntry(e) != e.entry_hash) {
+      return Status::Corruption("audit entry " + std::to_string(i) +
+                                " content hash mismatch");
+    }
+    prev = e.entry_hash;
+  }
+  if (entries.empty()) return Status::OK();
+  if (!crypto::Ed25519Verify(public_key, entries.back().entry_hash,
+                             head_signature)) {
+    return Status::Corruption(
+        "audit head signature invalid (truncation or forgery)");
+  }
+  return Status::OK();
+}
+
+}  // namespace ironsafe::monitor

@@ -1,0 +1,61 @@
+#ifndef IRONSAFE_MONITOR_AUDIT_LOG_H_
+#define IRONSAFE_MONITOR_AUDIT_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/ed25519.h"
+
+namespace ironsafe::monitor {
+
+/// One tamper-evident log record. `entry_hash` covers the payload and
+/// the previous entry's hash, forming a hash chain.
+struct AuditEntry {
+  uint64_t seq = 0;
+  int64_t timestamp = 0;  ///< days since epoch (simulation time)
+  std::string log_name;
+  std::string client_key_id;
+  std::string query;
+  Bytes prev_hash;
+  Bytes entry_hash;
+};
+
+/// Hash-chained, signed audit log kept by the trusted monitor. The §3.3
+/// threat model requires that logged events (including malicious queries)
+/// cannot be suppressed without detection; regulators audit via
+/// Entries() + Verify() (§3.1 step: regulator D obtains the audit trail).
+class AuditLog {
+ public:
+  explicit AuditLog(crypto::Ed25519KeyPair signer)
+      : signer_(std::move(signer)) {}
+
+  /// Appends an entry and re-signs the chain head.
+  Status Append(const std::string& log_name, const std::string& client_key_id,
+                const std::string& query, int64_t timestamp);
+
+  const std::vector<AuditEntry>& entries() const { return entries_; }
+  const Bytes& head_signature() const { return head_signature_; }
+  const Bytes& public_key() const { return signer_.public_key; }
+
+  /// Verifies a chain + head signature (the regulator-side check).
+  /// Detects edits, deletions, reordering, and truncation.
+  static Status Verify(const std::vector<AuditEntry>& entries,
+                       const Bytes& head_signature, const Bytes& public_key);
+
+  /// Test-only adversary surface.
+  std::vector<AuditEntry>* mutable_entries() { return &entries_; }
+
+  static Bytes HashEntry(const AuditEntry& entry);
+
+ private:
+  crypto::Ed25519KeyPair signer_;
+  std::vector<AuditEntry> entries_;
+  Bytes head_signature_;
+};
+
+}  // namespace ironsafe::monitor
+
+#endif  // IRONSAFE_MONITOR_AUDIT_LOG_H_

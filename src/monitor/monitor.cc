@@ -1,0 +1,290 @@
+#include "monitor/monitor.h"
+
+#include <algorithm>
+
+#include "crypto/hmac.h"
+
+namespace ironsafe::monitor {
+
+namespace {
+std::string Lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+}  // namespace
+
+Bytes ComplianceProof::SigningInput() const {
+  Bytes m;
+  PutLengthPrefixed(&m, query);
+  PutLengthPrefixed(&m, execution_policy);
+  PutLengthPrefixed(&m, host_measurement);
+  PutLengthPrefixed(&m, storage_measurement);
+  m.push_back(offloaded ? 1 : 0);
+  return m;
+}
+
+TrustedMonitor::TrustedMonitor(tee::SgxEnclave* enclave,
+                               tee::SgxAttestationService* ias,
+                               Bytes manufacturer_root)
+    : enclave_(enclave),
+      ias_(ias),
+      manufacturer_root_(std::move(manufacturer_root)),
+      signing_key_(*crypto::Ed25519KeyPairFromSeed(
+          crypto::HkdfSha256({}, enclave->measurement(),
+                             ToBytes("monitor-signing-key"), 32))),
+      drbg_(crypto::HkdfSha256({}, enclave->measurement(),
+                               ToBytes("monitor-drbg"), 32)),
+      audit_log_(signing_key_) {}
+
+void TrustedMonitor::TrustHostMeasurement(const Bytes& measurement) {
+  trusted_host_measurements_.insert(measurement);
+}
+
+void TrustedMonitor::TrustStorageMeasurement(const Bytes& measurement) {
+  trusted_storage_measurements_.insert(measurement);
+}
+
+void TrustedMonitor::set_latest_firmware(uint32_t host_fw,
+                                         uint32_t storage_fw) {
+  facts_.latest_host_fw = host_fw;
+  facts_.latest_storage_fw = storage_fw;
+}
+
+Result<Bytes> TrustedMonitor::AttestHost(const tee::SgxQuote& quote,
+                                         const std::string& location,
+                                         uint32_t fw_version,
+                                         sim::CostModel* cost) {
+  if (cost != nullptr) {
+    // Paper Table 4: the host-side CAS (configuration & attestation
+    // service) round trip dominates host attestation.
+    cost->ChargeFixed(AttestationLatency::kHostCasNanos);
+  }
+  RETURN_IF_ERROR(ias_->VerifyQuote(quote));
+  if (!trusted_host_measurements_.count(quote.measurement)) {
+    return Status::Unauthenticated(
+        "host enclave measurement is not in the trusted set");
+  }
+  facts_.host_attested = true;
+  facts_.host_location = location;
+  facts_.host_fw = fw_version;
+  attested_host_measurement_ = quote.measurement;
+  // Certify the host's public key (carried in report_data, Fig 4.a
+  // step 4) so clients can verify the host was attested by this monitor.
+  return crypto::Ed25519Sign(signing_key_.private_key, quote.report_data);
+}
+
+Bytes TrustedMonitor::IssueStorageChallenge() { return drbg_.Generate(32); }
+
+Status TrustedMonitor::AttestStorage(
+    const std::string& node_id, const Bytes& challenge,
+    const tee::TzAttestationResponse& response, sim::CostModel* cost) {
+  if (cost != nullptr) {
+    cost->ChargeFixed(AttestationLatency::kStorageTeeNanos);
+    cost->ChargeFixed(AttestationLatency::kStorageReeNanos);
+    cost->ChargeFixed(AttestationLatency::kInterconnectNanos);
+  }
+  RETURN_IF_ERROR(tee::VerifyTzAttestation(manufacturer_root_, node_id,
+                                           challenge, response));
+  if (!trusted_storage_measurements_.count(response.normal_world_hash)) {
+    return Status::Unauthenticated(
+        "storage normal-world measurement is not in the trusted set; node "
+        "is ineligible for query offloading");
+  }
+  facts_.storage_attested = true;
+  facts_.storage_location = response.config.location;
+  facts_.storage_fw = response.config.firmware_version;
+  attested_storage_measurement_ = response.normal_world_hash;
+  return Status::OK();
+}
+
+Status TrustedMonitor::RegisterTablePolicy(const std::string& table,
+                                           TablePolicy policy) {
+  table_policies_[Lower(table)] = std::move(policy);
+  return Status::OK();
+}
+
+void TrustedMonitor::RegisterClient(const std::string& key_id, int reuse_bit) {
+  clients_[key_id] = reuse_bit;
+}
+
+Result<const TablePolicy*> TrustedMonitor::PolicyForStatement(
+    const sql::Statement& stmt, std::string* table_name) const {
+  std::string table;
+  switch (stmt.kind) {
+    case sql::Statement::Kind::kSelect:
+      // Single protected table per query is supported (DESIGN.md §7);
+      // find the first FROM entry with a registered policy.
+      for (const auto& ref : stmt.select->from) {
+        if (table_policies_.count(Lower(ref.table_name))) {
+          table = Lower(ref.table_name);
+          break;
+        }
+      }
+      break;
+    case sql::Statement::Kind::kInsert:
+      table = Lower(stmt.insert->table_name);
+      break;
+    case sql::Statement::Kind::kDelete:
+      table = Lower(stmt.del->table_name);
+      break;
+    case sql::Statement::Kind::kUpdate:
+      table = Lower(stmt.update->table_name);
+      break;
+    case sql::Statement::Kind::kCreateTable:
+      table = Lower(stmt.create_table->table_name);
+      break;
+  }
+  if (table_name != nullptr) *table_name = table;
+  auto it = table_policies_.find(table);
+  if (it == table_policies_.end()) return nullptr;
+  return &it->second;
+}
+
+Result<Authorization> TrustedMonitor::AuthorizeStatement(
+    const std::string& client_key_id, const std::string& sql,
+    const std::string& execution_policy, std::optional<int64_t> insert_expiry,
+    std::optional<int64_t> insert_reuse, sim::CostModel* cost) {
+  // The monitor itself runs inside an enclave; entering it costs one
+  // transition (§4.2 control path).
+  enclave_->EnterExit(cost);
+
+  auto client = clients_.find(client_key_id);
+  if (client == clients_.end()) {
+    return Status::Unauthenticated("unknown client: " + client_key_id);
+  }
+
+  ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
+
+  policy::RequestFacts request;
+  request.session_key_id = client_key_id;
+  request.access_time = access_time_;
+  request.reuse_bit = client->second;
+
+  Authorization auth;
+  auth.storage_eligible = facts_.storage_attested;
+
+  // 1. Execution policy: decides eligibility of host/storage nodes.
+  if (!execution_policy.empty()) {
+    ASSIGN_OR_RETURN(policy::PolicySet exec_set,
+                     policy::ParsePolicy(execution_policy));
+    const policy::PolicyExpr* exec_expr = exec_set.Find(policy::Perm::kExec);
+    if (exec_expr != nullptr) {
+      ASSIGN_OR_RETURN(policy::ExecDecision exec,
+                       policy::EvaluateExec(*exec_expr, facts_, request));
+      if (!exec.host_eligible) {
+        return Status::PermissionDenied("execution policy unsatisfiable: " +
+                                        exec.detail);
+      }
+      auth.storage_eligible = auth.storage_eligible && exec.storage_eligible;
+    }
+  }
+
+  // 2. Access policy of the touched table.
+  std::string table;
+  ASSIGN_OR_RETURN(const TablePolicy* table_policy,
+                   PolicyForStatement(stmt, &table));
+  if (table_policy != nullptr) {
+    policy::Perm needed = stmt.kind == sql::Statement::Kind::kSelect
+                              ? policy::Perm::kRead
+                              : policy::Perm::kWrite;
+    const policy::PolicyExpr* rule = table_policy->access.Find(needed);
+    if (rule == nullptr) {
+      return Status::PermissionDenied(
+          std::string("no ") + std::string(policy::PermName(needed)) +
+          " rule for table " + table);
+    }
+    ASSIGN_OR_RETURN(policy::AccessDecision decision,
+                     policy::EvaluateAccess(*rule, facts_, request));
+    if (!decision.allowed) {
+      // Denials are themselves audit-worthy events (§3.3: malicious
+      // queries are recorded in the tamper-proof log).
+      RETURN_IF_ERROR(audit_log_.Append("denials", client_key_id, sql,
+                                        access_time_));
+      return Status::PermissionDenied("access denied: " +
+                                      decision.denial_reason);
+    }
+
+    // 3. Rewriting for row-level policies and hidden columns.
+    switch (stmt.kind) {
+      case sql::Statement::Kind::kSelect:
+        if (decision.row_filter) {
+          RETURN_IF_ERROR(policy::InjectRowFilter(stmt.select.get(),
+                                                  *decision.row_filter));
+        }
+        break;
+      case sql::Statement::Kind::kInsert:
+        RETURN_IF_ERROR(policy::ExtendInsert(
+            stmt.insert.get(), table_policy->with_expiry, insert_expiry,
+            table_policy->with_reuse, insert_reuse));
+        break;
+      case sql::Statement::Kind::kDelete:
+        if (decision.row_filter) {
+          RETURN_IF_ERROR(
+              policy::InjectRowFilter(stmt.del.get(), *decision.row_filter));
+        }
+        break;
+      case sql::Statement::Kind::kUpdate:
+        if (decision.row_filter) {
+          RETURN_IF_ERROR(policy::InjectRowFilter(stmt.update.get(),
+                                                  *decision.row_filter));
+        }
+        break;
+      case sql::Statement::Kind::kCreateTable:
+        policy::AddPolicyColumns(stmt.create_table.get(),
+                                 table_policy->with_expiry,
+                                 table_policy->with_reuse);
+        break;
+    }
+
+    // 4. Logging obligations (anti-pattern #3: transparent sharing).
+    for (const policy::Obligation& ob : decision.obligations) {
+      RETURN_IF_ERROR(audit_log_.Append(ob.log_name,
+                                        ob.log_key ? client_key_id : "",
+                                        ob.log_query ? sql : "",
+                                        access_time_));
+    }
+    auth.obligations = decision.obligations;
+  }
+
+  // 5. Session key for the host<->storage channel (§4.2 key management).
+  auth.session_key = drbg_.Generate(32);
+  active_sessions_.insert(auth.session_key);
+  auth.rewritten = std::move(stmt);
+  return auth;
+}
+
+void TrustedMonitor::EndSession(const Bytes& session_key) {
+  active_sessions_.erase(session_key);
+}
+
+bool TrustedMonitor::SessionActive(const Bytes& session_key) const {
+  return active_sessions_.count(session_key) > 0;
+}
+
+Result<ComplianceProof> TrustedMonitor::IssueProof(
+    const std::string& query, const std::string& execution_policy,
+    bool offloaded) {
+  if (!facts_.host_attested) {
+    return Status::FailedPrecondition("host has not been attested");
+  }
+  ComplianceProof proof;
+  proof.query = query;
+  proof.execution_policy = execution_policy;
+  proof.host_measurement = attested_host_measurement_;
+  proof.storage_measurement = attested_storage_measurement_;
+  proof.offloaded = offloaded;
+  ASSIGN_OR_RETURN(proof.signature, crypto::Ed25519Sign(
+                                        signing_key_.private_key,
+                                        proof.SigningInput()));
+  return proof;
+}
+
+bool TrustedMonitor::VerifyProof(const ComplianceProof& proof,
+                                 const Bytes& monitor_public_key) {
+  return crypto::Ed25519Verify(monitor_public_key, proof.SigningInput(),
+                               proof.signature);
+}
+
+}  // namespace ironsafe::monitor

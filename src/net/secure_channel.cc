@@ -1,0 +1,105 @@
+#include "net/secure_channel.h"
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace ironsafe::net {
+
+namespace {
+
+// Key schedule: two direction-separated AEAD keys plus a session id.
+struct KeySchedule {
+  Bytes initiator_key;
+  Bytes responder_key;
+  Bytes session_id;
+};
+
+KeySchedule DeriveKeys(const Bytes& shared_secret, const Bytes& transcript) {
+  KeySchedule ks;
+  ks.initiator_key = crypto::HkdfSha256(transcript, shared_secret,
+                                        ToBytes("i2r"), crypto::Aead::kKeySize);
+  ks.responder_key = crypto::HkdfSha256(transcript, shared_secret,
+                                        ToBytes("r2i"), crypto::Aead::kKeySize);
+  ks.session_id =
+      crypto::HkdfSha256(transcript, shared_secret, ToBytes("sid"), 16);
+  return ks;
+}
+
+Result<std::unique_ptr<SecureChannel>> BuildChannel(const KeySchedule& ks,
+                                                    bool is_initiator) {
+  ASSIGN_OR_RETURN(crypto::Aead send,
+                   crypto::Aead::Create(is_initiator ? ks.initiator_key
+                                                     : ks.responder_key));
+  ASSIGN_OR_RETURN(crypto::Aead recv,
+                   crypto::Aead::Create(is_initiator ? ks.responder_key
+                                                     : ks.initiator_key));
+  return std::unique_ptr<SecureChannel>(new SecureChannel(
+      std::move(send), std::move(recv), ks.session_id));
+}
+
+}  // namespace
+
+Result<Bytes> SecureChannel::Send(const Bytes& plaintext,
+                                  sim::CostModel* cost) {
+  Bytes aad;
+  PutU64(&aad, send_seq_);
+  Append(&aad, session_id_);
+  Bytes nonce(crypto::Aead::kNonceSize, 0);
+  PutU64(&nonce, send_seq_);
+  nonce.resize(crypto::Aead::kNonceSize);
+  ++send_seq_;
+  ASSIGN_OR_RETURN(Bytes frame, send_aead_.Seal(nonce, aad, plaintext));
+  if (cost != nullptr) cost->ChargeNetwork(frame.size());
+  return frame;
+}
+
+Result<Bytes> SecureChannel::Receive(const Bytes& frame,
+                                     sim::CostModel* cost) {
+  (void)cost;  // receive side piggybacks on the sender's network charge
+  Bytes aad;
+  PutU64(&aad, recv_seq_);
+  Append(&aad, session_id_);
+  auto plaintext = recv_aead_.Open(aad, frame);
+  if (!plaintext.ok()) {
+    return Status::Corruption(
+        "secure channel record rejected (tamper, replay or reorder) at seq " +
+        std::to_string(recv_seq_));
+  }
+  ++recv_seq_;
+  return plaintext;
+}
+
+Result<Handshake::Hello> Handshake::Start() {
+  ephemeral_private_ = drbg_->Generate(32);
+  ASSIGN_OR_RETURN(ephemeral_public_, crypto::X25519Base(ephemeral_private_));
+  return Hello{ephemeral_public_};
+}
+
+Result<std::unique_ptr<SecureChannel>> Handshake::Finish(const Hello& peer,
+                                                         bool is_initiator) {
+  if (ephemeral_private_.empty()) {
+    return Status::FailedPrecondition("call Start() before Finish()");
+  }
+  ASSIGN_OR_RETURN(Bytes shared,
+                   crypto::X25519(ephemeral_private_, peer.ephemeral_public));
+  // Transcript binds both public keys in a canonical order.
+  Bytes transcript;
+  const Bytes& a = is_initiator ? ephemeral_public_ : peer.ephemeral_public;
+  const Bytes& b = is_initiator ? peer.ephemeral_public : ephemeral_public_;
+  Append(&transcript, a);
+  Append(&transcript, b);
+  transcript = crypto::Sha256::Hash(transcript);
+  return BuildChannel(DeriveKeys(shared, transcript), is_initiator);
+}
+
+Result<std::pair<std::unique_ptr<SecureChannel>,
+                 std::unique_ptr<SecureChannel>>>
+Handshake::FromSessionKey(const Bytes& session_key) {
+  Bytes transcript = crypto::Sha256::Hash(session_key);
+  KeySchedule ks = DeriveKeys(session_key, transcript);
+  ASSIGN_OR_RETURN(auto initiator, BuildChannel(ks, true));
+  ASSIGN_OR_RETURN(auto responder, BuildChannel(ks, false));
+  return std::make_pair(std::move(initiator), std::move(responder));
+}
+
+}  // namespace ironsafe::net

@@ -1,0 +1,79 @@
+#ifndef IRONSAFE_NET_SECURE_CHANNEL_H_
+#define IRONSAFE_NET_SECURE_CHANNEL_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/aead.h"
+#include "crypto/chacha20.h"
+#include "crypto/ed25519.h"
+#include "sim/cost_model.h"
+
+namespace ironsafe::net {
+
+/// One endpoint of an authenticated encrypted channel (the TLS-over-TCP
+/// stand-in of paper §5 "Networking layer"). Build both ends with
+/// Handshake(); each record carries a sequence-numbered AEAD frame, so
+/// replayed, reordered, or tampered records are rejected.
+class SecureChannel {
+ public:
+  /// Sends `plaintext`; returns the wire frame and charges network cost.
+  Result<Bytes> Send(const Bytes& plaintext, sim::CostModel* cost);
+
+  /// Authenticates and decrypts a frame produced by the peer's Send().
+  Result<Bytes> Receive(const Bytes& frame, sim::CostModel* cost);
+
+  const Bytes& session_id() const { return session_id_; }
+
+  /// Prefer Handshake to construct channels; exposed for key schedules
+  /// derived by other trusted components (e.g. monitor-issued keys).
+  SecureChannel(crypto::Aead send_aead, crypto::Aead recv_aead,
+                Bytes session_id)
+      : send_aead_(std::move(send_aead)),
+        recv_aead_(std::move(recv_aead)),
+        session_id_(std::move(session_id)) {}
+
+ private:
+  crypto::Aead send_aead_;
+  crypto::Aead recv_aead_;
+  Bytes session_id_;
+  uint64_t send_seq_ = 0;
+  uint64_t recv_seq_ = 0;
+};
+
+/// X25519 ephemeral-ephemeral handshake with transcript-bound key
+/// derivation. The initiator/responder exchange hellos out of band (the
+/// monitor's session-key distribution also reuses DeriveSessionKeys).
+class Handshake {
+ public:
+  explicit Handshake(crypto::Drbg* drbg) : drbg_(drbg) {}
+
+  struct Hello {
+    Bytes ephemeral_public;
+  };
+
+  /// Produces this side's hello (generates an ephemeral key pair).
+  Result<Hello> Start();
+
+  /// Completes the handshake given the peer's hello. `is_initiator`
+  /// breaks the key-direction symmetry.
+  Result<std::unique_ptr<SecureChannel>> Finish(const Hello& peer,
+                                                bool is_initiator);
+
+  /// Derives a channel pair directly from a shared session key (used
+  /// when the trusted monitor distributes the key, paper §4.2).
+  static Result<std::pair<std::unique_ptr<SecureChannel>,
+                          std::unique_ptr<SecureChannel>>>
+  FromSessionKey(const Bytes& session_key);
+
+ private:
+  crypto::Drbg* drbg_;
+  Bytes ephemeral_private_;
+  Bytes ephemeral_public_;
+};
+
+}  // namespace ironsafe::net
+
+#endif  // IRONSAFE_NET_SECURE_CHANNEL_H_

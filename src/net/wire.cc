@@ -1,0 +1,47 @@
+#include "net/wire.h"
+
+namespace ironsafe::net {
+
+Bytes SerializeResult(const sql::QueryResult& result) {
+  Bytes out;
+  PutU32(&out, static_cast<uint32_t>(result.schema.size()));
+  for (const sql::Column& c : result.schema.columns()) {
+    PutLengthPrefixed(&out, c.name);
+    out.push_back(static_cast<uint8_t>(c.type));
+  }
+  PutU64(&out, result.rows.size());
+  for (const sql::Row& row : result.rows) {
+    sql::SerializeRow(row, &out);
+  }
+  return out;
+}
+
+Result<sql::QueryResult> DeserializeResult(const Bytes& wire) {
+  ByteReader r(wire);
+  sql::QueryResult result;
+  ASSIGN_OR_RETURN(uint32_t ncols, r.ReadU32());
+  if (ncols > 4096) return Status::Corruption("implausible column count");
+  for (uint32_t i = 0; i < ncols; ++i) {
+    ASSIGN_OR_RETURN(std::string name, r.ReadLengthPrefixedString());
+    ASSIGN_OR_RETURN(Bytes type_tag, r.ReadBytes(1));
+    result.schema.AddColumn(
+        sql::Column{std::move(name), static_cast<sql::Type>(type_tag[0])});
+  }
+  ASSIGN_OR_RETURN(uint64_t nrows, r.ReadU64());
+  // Each serialized row needs at least its 2-byte arity header; a count
+  // beyond that is corrupt and must not drive an allocation.
+  if (nrows > r.remaining() / 2) {
+    return Status::Corruption("row count exceeds record batch size");
+  }
+  result.rows.reserve(nrows);
+  for (uint64_t i = 0; i < nrows; ++i) {
+    ASSIGN_OR_RETURN(sql::Row row, sql::DeserializeRow(&r));
+    if (row.size() != ncols) {
+      return Status::Corruption("row arity mismatch in record batch");
+    }
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+}  // namespace ironsafe::net

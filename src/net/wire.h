@@ -1,0 +1,19 @@
+#ifndef IRONSAFE_NET_WIRE_H_
+#define IRONSAFE_NET_WIRE_H_
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "sql/eval.h"
+
+namespace ironsafe::net {
+
+/// Record-batch serialization for shipping query results between the
+/// storage engine and the host engine (paper §5: "the sender serializes
+/// records and the receiver deserializes these records to be added to
+/// the in-memory table on the host").
+Bytes SerializeResult(const sql::QueryResult& result);
+Result<sql::QueryResult> DeserializeResult(const Bytes& wire);
+
+}  // namespace ironsafe::net
+
+#endif  // IRONSAFE_NET_WIRE_H_

@@ -1,0 +1,245 @@
+#include "policy/interpreter.h"
+
+namespace ironsafe::policy {
+
+namespace {
+
+using sql::BinOp;
+using sql::Expr;
+using sql::ExprPtr;
+using sql::Value;
+
+enum class Tri { kTrue, kFalse, kResidual };
+
+struct EvalOut {
+  Tri tri = Tri::kFalse;
+  ExprPtr filter;  // set when tri == kResidual
+  std::vector<Obligation> obligations;
+  std::string why;  // denial detail
+};
+
+EvalOut True() {
+  EvalOut out;
+  out.tri = Tri::kTrue;
+  return out;
+}
+
+EvalOut False(std::string why) {
+  EvalOut out;
+  out.tri = Tri::kFalse;
+  out.why = std::move(why);
+  return out;
+}
+
+/// Bitmap membership test for the reuse map. SQL '/' yields DOUBLE in
+/// this dialect, so the test uses modulo arithmetic on integers:
+///   (_reuse % 2^(bit+1)) >= 2^bit
+ExprPtr ReuseFilter(int bit) {
+  int64_t lo = int64_t{1} << bit;
+  int64_t hi = int64_t{1} << (bit + 1);
+  return Expr::MakeBinary(
+      BinOp::kGe,
+      Expr::MakeBinary(BinOp::kMod, Expr::MakeColumn(kReuseColumn),
+                       Expr::MakeLiteral(Value::Int(hi))),
+      Expr::MakeLiteral(Value::Int(lo)));
+}
+
+/// access_time <= _expiry.
+ExprPtr ExpiryFilter(int64_t access_time) {
+  return Expr::MakeBinary(BinOp::kLe,
+                          Expr::MakeLiteral(Value::Date(access_time)),
+                          Expr::MakeColumn(kExpiryColumn));
+}
+
+bool FwSatisfied(const std::string& want, uint32_t actual, uint32_t latest) {
+  if (want == "latest") return actual >= latest;
+  return actual >= static_cast<uint32_t>(std::stoul(want));
+}
+
+/// `force_storage_true` replaces storage-node predicates by TRUE, which
+/// implements the host-only fallback probe of EvaluateExec.
+Result<EvalOut> Eval(const PolicyExpr& e, const NodeFacts& nodes,
+                     const RequestFacts& request, bool force_storage_true) {
+  switch (e.kind) {
+    case PolicyExpr::Kind::kPredicate:
+      switch (e.pred) {
+        case PredKind::kSessionKeyIs: {
+          if (e.args.size() != 1) {
+            return Status::InvalidArgument("sessionKeyIs expects one key");
+          }
+          return e.args[0] == request.session_key_id
+                     ? True()
+                     : False("client key does not match " + e.args[0]);
+        }
+        case PredKind::kStorageLocIs: {
+          if (force_storage_true) return True();
+          if (!nodes.storage_attested) {
+            return False("storage node is not attested");
+          }
+          for (const std::string& loc : e.args) {
+            if (loc == nodes.storage_location) return True();
+          }
+          return False("storage location " + nodes.storage_location +
+                       " not permitted");
+        }
+        case PredKind::kHostLocIs: {
+          if (!nodes.host_attested) return False("host is not attested");
+          for (const std::string& loc : e.args) {
+            if (loc == nodes.host_location) return True();
+          }
+          return False("host location " + nodes.host_location +
+                       " not permitted");
+        }
+        case PredKind::kFwVersionStorage: {
+          if (force_storage_true) return True();
+          if (e.args.size() != 1) {
+            return Status::InvalidArgument("fwVersionStorage expects one arg");
+          }
+          if (!nodes.storage_attested) {
+            return False("storage node is not attested");
+          }
+          return FwSatisfied(e.args[0], nodes.storage_fw,
+                             nodes.latest_storage_fw)
+                     ? True()
+                     : False("storage firmware too old");
+        }
+        case PredKind::kFwVersionHost: {
+          if (e.args.size() != 1) {
+            return Status::InvalidArgument("fwVersionHost expects one arg");
+          }
+          if (!nodes.host_attested) return False("host is not attested");
+          return FwSatisfied(e.args[0], nodes.host_fw, nodes.latest_host_fw)
+                     ? True()
+                     : False("host firmware too old");
+        }
+        case PredKind::kLe: {
+          // le(T, TIMESTAMP): symbolic row-level expiry check.
+          EvalOut out;
+          out.tri = Tri::kResidual;
+          out.filter = ExpiryFilter(request.access_time);
+          return out;
+        }
+        case PredKind::kReuseMap: {
+          if (request.reuse_bit < 0) {
+            return False("client has no position in the reuse map");
+          }
+          EvalOut out;
+          out.tri = Tri::kResidual;
+          out.filter = ReuseFilter(request.reuse_bit);
+          return out;
+        }
+        case PredKind::kLogUpdate: {
+          if (e.args.empty()) {
+            return Status::InvalidArgument("logUpdate expects a log name");
+          }
+          EvalOut out;
+          out.tri = Tri::kTrue;
+          Obligation ob;
+          ob.log_name = e.args[0];
+          for (size_t i = 1; i < e.args.size(); ++i) {
+            if (e.args[i] == "K") ob.log_key = true;
+            if (e.args[i] == "Q") ob.log_query = true;
+          }
+          out.obligations.push_back(std::move(ob));
+          return out;
+        }
+      }
+      return Status::Internal("unhandled predicate");
+
+    case PolicyExpr::Kind::kAnd: {
+      ASSIGN_OR_RETURN(EvalOut l, Eval(*e.left, nodes, request,
+                                       force_storage_true));
+      if (l.tri == Tri::kFalse) return l;
+      ASSIGN_OR_RETURN(EvalOut r, Eval(*e.right, nodes, request,
+                                       force_storage_true));
+      if (r.tri == Tri::kFalse) return r;
+      EvalOut out;
+      for (auto& ob : l.obligations) out.obligations.push_back(std::move(ob));
+      for (auto& ob : r.obligations) out.obligations.push_back(std::move(ob));
+      if (l.tri == Tri::kTrue && r.tri == Tri::kTrue) {
+        out.tri = Tri::kTrue;
+        return out;
+      }
+      out.tri = Tri::kResidual;
+      if (l.filter && r.filter) {
+        out.filter = Expr::MakeBinary(BinOp::kAnd, std::move(l.filter),
+                                      std::move(r.filter));
+      } else {
+        out.filter = l.filter ? std::move(l.filter) : std::move(r.filter);
+      }
+      return out;
+    }
+
+    case PolicyExpr::Kind::kOr: {
+      ASSIGN_OR_RETURN(EvalOut l, Eval(*e.left, nodes, request,
+                                       force_storage_true));
+      if (l.tri == Tri::kTrue) return l;
+      ASSIGN_OR_RETURN(EvalOut r, Eval(*e.right, nodes, request,
+                                       force_storage_true));
+      if (r.tri == Tri::kTrue) return r;
+      if (l.tri == Tri::kFalse && r.tri == Tri::kFalse) {
+        return False(l.why + "; " + r.why);
+      }
+      if (l.tri == Tri::kFalse) return r;
+      if (r.tri == Tri::kFalse) return l;
+      // Both residual: either filter admits the row.
+      EvalOut out;
+      out.tri = Tri::kResidual;
+      for (auto& ob : l.obligations) out.obligations.push_back(std::move(ob));
+      for (auto& ob : r.obligations) out.obligations.push_back(std::move(ob));
+      out.filter = Expr::MakeBinary(BinOp::kOr, std::move(l.filter),
+                                    std::move(r.filter));
+      return out;
+    }
+  }
+  return Status::Internal("unhandled policy expression");
+}
+
+}  // namespace
+
+Result<AccessDecision> EvaluateAccess(const PolicyExpr& expr,
+                                      const NodeFacts& nodes,
+                                      const RequestFacts& request) {
+  ASSIGN_OR_RETURN(EvalOut out, Eval(expr, nodes, request,
+                                     /*force_storage_true=*/false));
+  AccessDecision decision;
+  if (out.tri == Tri::kFalse) {
+    decision.allowed = false;
+    decision.denial_reason = out.why;
+    return decision;
+  }
+  decision.allowed = true;
+  decision.row_filter = std::move(out.filter);
+  decision.obligations = std::move(out.obligations);
+  return decision;
+}
+
+Result<ExecDecision> EvaluateExec(const PolicyExpr& expr,
+                                  const NodeFacts& nodes,
+                                  const RequestFacts& request) {
+  ExecDecision decision;
+  ASSIGN_OR_RETURN(EvalOut strict, Eval(expr, nodes, request,
+                                        /*force_storage_true=*/false));
+  if (strict.tri != Tri::kFalse) {
+    decision.host_eligible = true;
+    decision.storage_eligible = true;
+    return decision;
+  }
+  // Probe: was the storage side the only blocker? Then fall back to
+  // host-only execution (paper §4.2: "If none of the storage nodes comply
+  // ... the entire query may be processed on the host node itself").
+  ASSIGN_OR_RETURN(EvalOut relaxed, Eval(expr, nodes, request,
+                                         /*force_storage_true=*/true));
+  if (relaxed.tri != Tri::kFalse) {
+    decision.host_eligible = true;
+    decision.storage_eligible = false;
+    decision.detail = "storage node non-compliant: " + strict.why;
+    return decision;
+  }
+  decision.host_eligible = false;
+  decision.storage_eligible = false;
+  decision.detail = relaxed.why;
+  return decision;
+}
+
+}  // namespace ironsafe::policy

@@ -1,0 +1,83 @@
+#ifndef IRONSAFE_POLICY_INTERPRETER_H_
+#define IRONSAFE_POLICY_INTERPRETER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "policy/policy.h"
+#include "sql/ast.h"
+
+namespace ironsafe::policy {
+
+/// Attested facts about the deployment, established by the trusted
+/// monitor's attestation protocols (§4.2). Location and firmware come
+/// from the storage node's certificate chain / the host's CAS record.
+struct NodeFacts {
+  bool host_attested = false;
+  bool storage_attested = false;
+  std::string host_location;
+  std::string storage_location;
+  uint32_t host_fw = 0;
+  uint32_t storage_fw = 0;
+  uint32_t latest_host_fw = 0;
+  uint32_t latest_storage_fw = 0;
+};
+
+/// Facts about the requesting client and this request.
+struct RequestFacts {
+  std::string session_key_id;  ///< client identity key fingerprint
+  int64_t access_time = 0;     ///< days since epoch, for le(T, TIMESTAMP)
+  int reuse_bit = -1;          ///< client's position in the reuse bitmap
+};
+
+/// A side effect the monitor must perform when admitting the request
+/// (the logUpdate predicate).
+struct Obligation {
+  std::string log_name;
+  bool log_key = false;
+  bool log_query = false;
+};
+
+/// Names of the hidden columns the monitor maintains for row-level
+/// policies (§4.3 anti-patterns #1 and #2).
+inline constexpr char kExpiryColumn[] = "_expiry";
+inline constexpr char kReuseColumn[] = "_reuse";
+
+/// The outcome of evaluating an access rule for one request.
+struct AccessDecision {
+  bool allowed = false;
+  std::string denial_reason;
+  /// Residual row-level predicate to AND into the query's WHERE clause
+  /// (null when the grant is unconditional).
+  sql::ExprPtr row_filter;
+  std::vector<Obligation> obligations;
+};
+
+/// The outcome of evaluating an execution policy: where the query may
+/// run. Per §4.2, a storage node that fails the execution policy makes
+/// the query fall back to host-only processing rather than being denied.
+struct ExecDecision {
+  bool host_eligible = false;
+  bool storage_eligible = false;
+  std::string detail;
+};
+
+/// Evaluates an access rule (read/write). Node-level predicates resolve
+/// against the facts immediately; row-level predicates (le, reuseMap)
+/// become a residual SQL filter; logUpdate becomes an obligation.
+Result<AccessDecision> EvaluateAccess(const PolicyExpr& expr,
+                                      const NodeFacts& nodes,
+                                      const RequestFacts& request);
+
+/// Evaluates an execution policy: first against the true facts; if the
+/// storage-side predicates are the only blockers, the query remains
+/// host-eligible with offloading disabled.
+Result<ExecDecision> EvaluateExec(const PolicyExpr& expr,
+                                  const NodeFacts& nodes,
+                                  const RequestFacts& request);
+
+}  // namespace ironsafe::policy
+
+#endif  // IRONSAFE_POLICY_INTERPRETER_H_

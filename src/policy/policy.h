@@ -1,0 +1,80 @@
+#ifndef IRONSAFE_POLICY_POLICY_H_
+#define IRONSAFE_POLICY_POLICY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ironsafe::policy {
+
+/// Permissions a rule can govern.
+enum class Perm { kRead, kWrite, kExec };
+
+std::string_view PermName(Perm p);
+
+/// Predicate names of the policy language (paper Table 1 + the GDPR
+/// anti-pattern extensions of §4.3).
+enum class PredKind {
+  kSessionKeyIs,      ///< sessionKeyIs(K): client identity check
+  kStorageLocIs,      ///< storageLocIs(l): offload only to region l
+  kHostLocIs,         ///< hostLocIs(l): run host part only in region l
+  kFwVersionStorage,  ///< fwVersionStorage(v | latest)
+  kFwVersionHost,     ///< fwVersionHost(v | latest)
+  kLe,                ///< le(T, TIMESTAMP): row-level expiry gate
+  kReuseMap,          ///< reuseMap(m): row-level purpose opt-in bitmap
+  kLogUpdate,         ///< logUpdate(l, K, Q): audit-log side effect
+};
+
+/// A node of a parsed policy expression: predicate, AND, or OR.
+struct PolicyExpr {
+  enum class Kind { kPredicate, kAnd, kOr };
+  Kind kind = Kind::kPredicate;
+
+  // kPredicate:
+  PredKind pred = PredKind::kSessionKeyIs;
+  std::vector<std::string> args;
+
+  // kAnd / kOr:
+  std::unique_ptr<PolicyExpr> left;
+  std::unique_ptr<PolicyExpr> right;
+
+  std::unique_ptr<PolicyExpr> Clone() const;
+  std::string ToString() const;
+};
+
+/// One rule: `perm ::= expr`.
+struct PolicyRule {
+  Perm perm;
+  std::unique_ptr<PolicyExpr> expr;
+};
+
+/// A parsed policy document (one or more rules).
+///
+/// Grammar (the paper's Table 1, with `&` = AND and `|` = OR — see
+/// DESIGN.md §7 on the paper's notation slip):
+///
+///   policy  := rule+
+///   rule    := perm ("::=" | ":-" | ":--") expr
+///   perm    := "read" | "write" | "exec"
+///   expr    := term ("|" term)*
+///   term    := factor ("&" factor)*
+///   factor  := predicate | "(" expr ")"
+///   predicate := name "(" arg ("," arg)* ")"
+struct PolicySet {
+  std::vector<PolicyRule> rules;
+
+  /// The rule for `perm`, or null when the policy is silent about it.
+  const PolicyExpr* Find(Perm perm) const;
+
+  std::string ToString() const;
+};
+
+/// Parses a policy document. Unknown predicates or malformed syntax fail
+/// with InvalidArgument naming the offending token.
+Result<PolicySet> ParsePolicy(std::string_view text);
+
+}  // namespace ironsafe::policy
+
+#endif  // IRONSAFE_POLICY_POLICY_H_

@@ -1,0 +1,69 @@
+#include "policy/rewriter.h"
+
+namespace ironsafe::policy {
+
+using sql::BinOp;
+using sql::Expr;
+using sql::ExprPtr;
+using sql::Value;
+
+namespace {
+ExprPtr AndWith(ExprPtr existing, const Expr& filter) {
+  if (!existing) return filter.Clone();
+  return Expr::MakeBinary(BinOp::kAnd, std::move(existing), filter.Clone());
+}
+}  // namespace
+
+Status InjectRowFilter(sql::SelectStmt* stmt, const Expr& filter) {
+  stmt->where = AndWith(std::move(stmt->where), filter);
+  return Status::OK();
+}
+
+Status InjectRowFilter(sql::DeleteStmt* stmt, const Expr& filter) {
+  stmt->where = AndWith(std::move(stmt->where), filter);
+  return Status::OK();
+}
+
+Status InjectRowFilter(sql::UpdateStmt* stmt, const Expr& filter) {
+  stmt->where = AndWith(std::move(stmt->where), filter);
+  return Status::OK();
+}
+
+void AddPolicyColumns(sql::CreateTableStmt* stmt, bool with_expiry,
+                      bool with_reuse) {
+  if (with_expiry) {
+    stmt->columns.push_back(sql::Column{kExpiryColumn, sql::Type::kDate});
+  }
+  if (with_reuse) {
+    stmt->columns.push_back(sql::Column{kReuseColumn, sql::Type::kInt64});
+  }
+}
+
+Status ExtendInsert(sql::InsertStmt* stmt, bool with_expiry,
+                    std::optional<int64_t> expiry_days, bool with_reuse,
+                    std::optional<int64_t> reuse_map) {
+  if (with_expiry && !expiry_days.has_value()) {
+    return Status::InvalidArgument(
+        "table requires an expiry timestamp for inserted records");
+  }
+  if (with_reuse && !reuse_map.has_value()) {
+    return Status::InvalidArgument(
+        "table requires a reuse map for inserted records");
+  }
+  // When the INSERT names explicit columns, extend the column list too.
+  if (!stmt->columns.empty()) {
+    if (with_expiry) stmt->columns.push_back(kExpiryColumn);
+    if (with_reuse) stmt->columns.push_back(kReuseColumn);
+  }
+  for (auto& row : stmt->values) {
+    if (with_expiry) {
+      row.push_back(Expr::MakeLiteral(Value::Date(*expiry_days)));
+    }
+    if (with_reuse) {
+      row.push_back(Expr::MakeLiteral(Value::Int(*reuse_map)));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ironsafe::policy

@@ -1,0 +1,37 @@
+#ifndef IRONSAFE_POLICY_REWRITER_H_
+#define IRONSAFE_POLICY_REWRITER_H_
+
+#include <optional>
+
+#include "common/result.h"
+#include "policy/interpreter.h"
+#include "sql/ast.h"
+
+namespace ironsafe::policy {
+
+/// Query rewriting performed by the trusted monitor (§4.2 "The trusted
+/// monitor rewrites the client query to be policy compliant" and the
+/// §4.3 anti-pattern mechanics).
+
+/// ANDs `filter` into the statement's WHERE clause. For SELECTs the
+/// filter's hidden columns (_expiry / _reuse) resolve against the
+/// policy-protected table in FROM; DELETE/UPDATE get the same treatment.
+Status InjectRowFilter(sql::SelectStmt* stmt, const sql::Expr& filter);
+Status InjectRowFilter(sql::DeleteStmt* stmt, const sql::Expr& filter);
+Status InjectRowFilter(sql::UpdateStmt* stmt, const sql::Expr& filter);
+
+/// Appends the hidden policy columns to a CREATE TABLE (expiry as DATE,
+/// reuse map as INTEGER bitmap).
+void AddPolicyColumns(sql::CreateTableStmt* stmt, bool with_expiry,
+                      bool with_reuse);
+
+/// Extends every INSERT row with values for the hidden columns. The
+/// expiry/reuse values come from the data producer's request; when the
+/// table has a hidden column the value must be provided.
+Status ExtendInsert(sql::InsertStmt* stmt, bool with_expiry,
+                    std::optional<int64_t> expiry_days, bool with_reuse,
+                    std::optional<int64_t> reuse_map);
+
+}  // namespace ironsafe::policy
+
+#endif  // IRONSAFE_POLICY_REWRITER_H_

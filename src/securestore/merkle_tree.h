@@ -1,0 +1,62 @@
+#ifndef IRONSAFE_SECURESTORE_MERKLE_TREE_H_
+#define IRONSAFE_SECURESTORE_MERKLE_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace ironsafe::securestore {
+
+/// Keyed Merkle tree over page MACs (paper §4.1: "recursively builds a
+/// Merkle tree also employing HMACs to create the internal nodes and root
+/// of the tree"). Leaves are the per-page HMAC-SHA-512 values; internal
+/// nodes are HMAC-SHA-256(key, left || right). The tree image itself
+/// lives on the untrusted medium; only the root needs a trusted anchor.
+class MerkleTree {
+ public:
+  /// Builds a tree with capacity for `num_leaves` leaves (rounded up to a
+  /// power of two internally). Absent leaves hash as empty strings.
+  MerkleTree(Bytes hmac_key, uint64_t num_leaves);
+
+  uint64_t num_leaves() const { return num_leaves_; }
+
+  /// Sets leaf `index` and recomputes the path to the root.
+  /// Returns the number of internal nodes recomputed (for cost charging).
+  uint64_t UpdateLeaf(uint64_t index, const Bytes& leaf_mac);
+
+  const Bytes& Root() const { return nodes_[1]; }
+
+  /// Verifies that `leaf_mac` at `index` is consistent with the current
+  /// root by recomputing the authentication path. `nodes_checked` (if
+  /// non-null) receives the path length for cost accounting.
+  Status VerifyLeaf(uint64_t index, const Bytes& leaf_mac,
+                    uint64_t* nodes_checked = nullptr) const;
+
+  /// Serializes all leaves (the tree is recomputable from them).
+  Bytes SerializeLeaves() const;
+
+  /// Rebuilds a tree from a serialized leaf image (e.g. read back from the
+  /// untrusted metadata region). Fails on malformed input.
+  static Result<MerkleTree> Deserialize(Bytes hmac_key, const Bytes& image);
+
+  /// Depth of the tree (number of internal levels), for cost estimates.
+  uint64_t Depth() const { return depth_; }
+
+ private:
+  void RecomputeAll();
+  Bytes HashChildren(const Bytes& left, const Bytes& right) const;
+
+  Bytes key_;
+  uint64_t num_leaves_;
+  uint64_t leaf_capacity_;  // power of two
+  uint64_t depth_;
+  // Heap layout: nodes_[1] is root, children of i are 2i and 2i+1.
+  // Leaves occupy nodes_[leaf_capacity_ .. 2*leaf_capacity_).
+  std::vector<Bytes> nodes_;
+};
+
+}  // namespace ironsafe::securestore
+
+#endif  // IRONSAFE_SECURESTORE_MERKLE_TREE_H_

@@ -1,0 +1,125 @@
+#include "sim/cost_model.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ironsafe::sim {
+
+SimNanos CostModel::CyclesToNs(Site site, uint64_t cycles, int ways) const {
+  const CpuProfile& cpu =
+      site == Site::kHost ? profile_.host_cpu : profile_.storage_cpu;
+  int parallel = std::max(1, std::min(ways, cpu.cores));
+  double effective_hz = cpu.ghz * 1e9 * cpu.ipc_factor * parallel;
+  return static_cast<SimNanos>(static_cast<double>(cycles) / effective_hz * 1e9);
+}
+
+void CostModel::ChargeCycles(Site site, uint64_t cycles) {
+  SimNanos ns = CyclesToNs(site, cycles, 1);
+  compute_ns_ += ns;
+  total_ns_ += ns;
+}
+
+void CostModel::ChargeParallelCycles(Site site, uint64_t cycles, int ways) {
+  SimNanos ns = CyclesToNs(site, cycles, ways);
+  compute_ns_ += ns;
+  total_ns_ += ns;
+}
+
+void CostModel::ChargeDiskRead(uint64_t bytes) {
+  SimNanos ns = profile_.nvme.latency_ns / kReadaheadPages +
+                static_cast<SimNanos>(static_cast<double>(bytes) /
+                                      profile_.nvme.bytes_per_second * 1e9);
+  disk_ns_ += ns;
+  total_ns_ += ns;
+  disk_bytes_ += bytes;
+}
+
+void CostModel::ChargeNetwork(uint64_t bytes) {
+  SimNanos ns = profile_.network.latency_ns +
+                static_cast<SimNanos>(static_cast<double>(bytes) /
+                                      profile_.network.bytes_per_second * 1e9);
+  network_ns_ += ns;
+  total_ns_ += ns;
+  network_bytes_ += bytes;
+}
+
+void CostModel::ChargeNetworkBytes(uint64_t bytes) {
+  SimNanos ns = profile_.network.latency_ns / kReadaheadPages +
+                static_cast<SimNanos>(static_cast<double>(bytes) /
+                                      profile_.network.bytes_per_second * 1e9);
+  network_ns_ += ns;
+  total_ns_ += ns;
+  network_bytes_ += bytes;
+}
+
+void CostModel::ChargeEnclaveTransition() {
+  SimNanos ns = CyclesToNs(Site::kHost, profile_.sgx.transition_cycles, 1);
+  transition_ns_ += ns;
+  total_ns_ += ns;
+  ++transitions_;
+}
+
+void CostModel::ChargeEpcFault() {
+  SimNanos ns = CyclesToNs(Site::kHost, profile_.sgx.epc_fault_cycles, 1);
+  epc_fault_ns_ += ns;
+  total_ns_ += ns;
+  ++epc_faults_;
+}
+
+void CostModel::ChargeFixed(SimNanos ns) {
+  fixed_ns_ += ns;
+  total_ns_ += ns;
+}
+
+SimNanos CostModel::CryptoCyclesToNs(Site site, uint64_t cycles) const {
+  const CpuProfile& cpu =
+      site == Site::kHost ? profile_.host_cpu : profile_.storage_cpu;
+  // Hardware crypto engines run at clock speed on both CPUs; enclave
+  // memory traffic additionally pays the MEE slowdown on the host.
+  double effective_hz = cpu.ghz * 1e9;
+  double factor = site == Site::kHost ? profile_.sgx.mee_slowdown : 1.0;
+  return static_cast<SimNanos>(static_cast<double>(cycles) * factor /
+                               effective_hz * 1e9);
+}
+
+void CostModel::ChargePageDecrypt(Site site) {
+  SimNanos ns = CryptoCyclesToNs(site, profile_.page_decrypt_cycles);
+  decrypt_ns_ += ns;
+  total_ns_ += ns;
+  ++pages_decrypted_;
+}
+
+void CostModel::ChargePageMacVerify(Site site) {
+  SimNanos ns = CryptoCyclesToNs(site, profile_.page_hmac_cycles);
+  freshness_ns_ += ns;
+  total_ns_ += ns;
+}
+
+void CostModel::ChargeMerkleNodes(Site site, uint64_t nodes) {
+  SimNanos ns = CryptoCyclesToNs(site, profile_.merkle_node_cycles * nodes);
+  freshness_ns_ += ns;
+  total_ns_ += ns;
+}
+
+void CostModel::Reset() {
+  total_ns_ = compute_ns_ = disk_ns_ = network_ns_ = 0;
+  transition_ns_ = epc_fault_ns_ = decrypt_ns_ = freshness_ns_ = fixed_ns_ = 0;
+  transitions_ = epc_faults_ = 0;
+  disk_bytes_ = network_bytes_ = pages_decrypted_ = 0;
+}
+
+std::string CostModel::Summary() const {
+  std::ostringstream os;
+  os << "total=" << elapsed_ms() << "ms"
+     << " compute=" << compute_ns_ / 1e6 << "ms"
+     << " disk=" << disk_ns_ / 1e6 << "ms"
+     << " net=" << network_ns_ / 1e6 << "ms"
+     << " transitions=" << transitions_ << " (" << transition_ns_ / 1e6
+     << "ms)"
+     << " epc_faults=" << epc_faults_ << " (" << epc_fault_ns_ / 1e6 << "ms)"
+     << " decrypt=" << decrypt_ns_ / 1e6 << "ms"
+     << " freshness=" << freshness_ns_ / 1e6 << "ms";
+  return os.str();
+}
+
+}  // namespace ironsafe::sim

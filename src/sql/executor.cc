@@ -1,0 +1,897 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "sql/database.h"
+
+namespace ironsafe::sql {
+
+namespace {
+
+// Per-row work constants (cycles); relative magnitudes matter, not the
+// absolute values — they seed the simulated CPU cost of operators.
+constexpr uint64_t kScanRowCycles = 180;
+constexpr uint64_t kFilterCycles = 80;
+constexpr uint64_t kJoinBuildCycles = 180;
+constexpr uint64_t kJoinProbeCycles = 220;
+constexpr uint64_t kAggUpdateCycles = 200;
+constexpr uint64_t kSortCmpCycles = 90;
+constexpr uint64_t kProjectCycles = 120;
+
+struct RelData {
+  Schema schema;
+  std::vector<Row> rows;
+};
+
+size_t RelBytes(const RelData& rel) {
+  size_t total = 0;
+  for (const Row& r : rel.rows) total += RowBytes(r);
+  return total;
+}
+
+class ExecSubqueryRunner : public SubqueryRunner {
+ public:
+  ExecSubqueryRunner(Database* db, sim::CostModel* cost,
+                     const ExecOptions& opts)
+      : db_(db), cost_(cost), opts_(opts) {}
+
+  /// Uncorrelated subqueries execute once and are cached (keyed by AST
+  /// node); a subquery that fails without the outer scope is correlated
+  /// and re-executes per outer row.
+  Result<QueryResult> RunSubquery(const SelectStmt& stmt,
+                                  const EvalScope* outer) override {
+    auto it = cache_.find(&stmt);
+    if (it != cache_.end()) return it->second;
+    if (!correlated_.count(&stmt)) {
+      auto r = ExecuteSelect(db_, stmt, nullptr, cost_, opts_);
+      if (r.ok()) {
+        cache_.emplace(&stmt, *r);
+        return *r;
+      }
+      correlated_.insert(&stmt);
+    }
+    return ExecuteSelect(db_, stmt, outer, cost_, opts_);
+  }
+
+  bool IsCached(const SelectStmt& stmt) const override {
+    return cache_.count(&stmt) > 0;
+  }
+
+ private:
+  Database* db_;
+  sim::CostModel* cost_;
+  ExecOptions opts_;
+  std::map<const SelectStmt*, QueryResult> cache_;
+  std::set<const SelectStmt*> correlated_;
+};
+
+/// Shared execution state for one SELECT.
+struct Ctx {
+  Database* db = nullptr;
+  sim::CostModel* cost = nullptr;
+  ExecOptions opts;
+  ExecStats* stats = nullptr;
+  const EvalScope* outer = nullptr;
+  std::unique_ptr<ExecSubqueryRunner> runner;
+  std::unique_ptr<Evaluator> eval;
+  uint64_t pending_cycles = 0;
+
+  void Charge(uint64_t cycles) { pending_cycles += cycles; }
+
+  void FlushCharges() {
+    if (cost != nullptr && pending_cycles > 0) {
+      cost->ChargeParallelCycles(opts.site, pending_cycles, opts.parallelism);
+    }
+    pending_cycles = 0;
+  }
+
+  void TrackMemory(uint64_t bytes) {
+    if (stats != nullptr) {
+      stats->peak_memory_bytes = std::max(stats->peak_memory_bytes, bytes);
+    }
+    if (bytes > opts.memory_cap_bytes) {
+      uint64_t overflow = bytes - opts.memory_cap_bytes;
+      if (stats != nullptr) stats->spill_bytes += overflow;
+      if (cost != nullptr) {
+        // Spill: write the overflow out and read it back.
+        cost->ChargeDiskRead(overflow);
+        cost->ChargeDiskRead(overflow);
+      }
+    }
+  }
+};
+
+// ---- Expression analysis helpers ----
+
+void SplitConjuncts(const Expr* e, std::vector<const Expr*>* out) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kBinary && e->bin_op == BinOp::kAnd) {
+    SplitConjuncts(e->left.get(), out);
+    SplitConjuncts(e->right.get(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+void CollectColumns(const Expr& e, std::set<std::string>* cols,
+                    bool* has_subquery) {
+  switch (e.kind) {
+    case ExprKind::kColumn:
+      cols->insert(e.column_name);
+      return;
+    case ExprKind::kScalarSubquery:
+    case ExprKind::kExists:
+    case ExprKind::kInSubquery:
+      *has_subquery = true;
+      if (e.left) CollectColumns(*e.left, cols, has_subquery);
+      return;
+    default:
+      break;
+  }
+  if (e.left) CollectColumns(*e.left, cols, has_subquery);
+  if (e.right) CollectColumns(*e.right, cols, has_subquery);
+  for (const auto& a : e.args) CollectColumns(*a, cols, has_subquery);
+  for (const auto& [w, t] : e.when_clauses) {
+    CollectColumns(*w, cols, has_subquery);
+    CollectColumns(*t, cols, has_subquery);
+  }
+  if (e.else_expr) CollectColumns(*e.else_expr, cols, has_subquery);
+}
+
+bool ResolvableBy(const std::set<std::string>& cols, const Schema& schema) {
+  // Find() returns -1 when absent; -2 (ambiguous) still counts as present.
+  for (const std::string& c : cols) {
+    if (schema.Find(c) == -1) return false;
+  }
+  return true;
+}
+
+struct ConjunctInfo {
+  const Expr* expr = nullptr;
+  std::set<std::string> columns;
+  bool has_subquery = false;
+  bool consumed = false;
+};
+
+std::vector<ConjunctInfo> AnalyzeConjuncts(const Expr* where) {
+  std::vector<const Expr*> parts;
+  SplitConjuncts(where, &parts);
+  std::vector<ConjunctInfo> infos;
+  for (const Expr* e : parts) {
+    ConjunctInfo info;
+    info.expr = e;
+    CollectColumns(*e, &info.columns, &info.has_subquery);
+    infos.push_back(std::move(info));
+  }
+  return infos;
+}
+
+bool HasAggregate(const Expr& e) {
+  if (e.kind == ExprKind::kAggregate) return true;
+  if (e.left && HasAggregate(*e.left)) return true;
+  if (e.right && HasAggregate(*e.right)) return true;
+  for (const auto& a : e.args) {
+    if (HasAggregate(*a)) return true;
+  }
+  for (const auto& [w, t] : e.when_clauses) {
+    if (HasAggregate(*w) || HasAggregate(*t)) return true;
+  }
+  if (e.else_expr && HasAggregate(*e.else_expr)) return true;
+  return false;  // subquery bodies have their own aggregation contexts
+}
+
+void CollectAggregates(const Expr& e,
+                       std::map<std::string, const Expr*>* aggs) {
+  if (e.kind == ExprKind::kAggregate) {
+    aggs->emplace(e.ToString(), &e);
+    return;
+  }
+  if (e.left) CollectAggregates(*e.left, aggs);
+  if (e.right) CollectAggregates(*e.right, aggs);
+  for (const auto& a : e.args) CollectAggregates(*a, aggs);
+  for (const auto& [w, t] : e.when_clauses) {
+    CollectAggregates(*w, aggs);
+    CollectAggregates(*t, aggs);
+  }
+  if (e.else_expr) CollectAggregates(*e.else_expr, aggs);
+}
+
+/// Clones `e`, replacing any subtree whose printed form is in `names`
+/// with a column reference of that name (the post-aggregation schema
+/// names its columns by printed expression).
+ExprPtr RewriteToColumns(const Expr& e, const std::set<std::string>& names) {
+  std::string printed = e.ToString();
+  if (names.count(printed)) return Expr::MakeColumn(printed);
+  ExprPtr c = e.Clone();
+  if (c->left) c->left = RewriteToColumns(*e.left, names);
+  if (c->right) c->right = RewriteToColumns(*e.right, names);
+  for (size_t i = 0; i < c->args.size(); ++i) {
+    c->args[i] = RewriteToColumns(*e.args[i], names);
+  }
+  for (size_t i = 0; i < c->when_clauses.size(); ++i) {
+    c->when_clauses[i].first =
+        RewriteToColumns(*e.when_clauses[i].first, names);
+    c->when_clauses[i].second =
+        RewriteToColumns(*e.when_clauses[i].second, names);
+  }
+  if (c->else_expr) c->else_expr = RewriteToColumns(*e.else_expr, names);
+  return c;
+}
+
+/// Best-effort static type inference for output schemas.
+Type InferType(const Expr& e, const Schema& schema) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return e.literal.type();
+    case ExprKind::kColumn: {
+      int idx = schema.Find(e.column_name);
+      return idx >= 0 ? schema.column(idx).type : Type::kNull;
+    }
+    case ExprKind::kUnary:
+      return e.un_op == UnOp::kNot ? Type::kBool : InferType(*e.left, schema);
+    case ExprKind::kBinary:
+      switch (e.bin_op) {
+        case BinOp::kEq: case BinOp::kNe: case BinOp::kLt: case BinOp::kLe:
+        case BinOp::kGt: case BinOp::kGe: case BinOp::kAnd: case BinOp::kOr:
+          return Type::kBool;
+        case BinOp::kConcat:
+          return Type::kString;
+        case BinOp::kDiv:
+          return Type::kDouble;
+        default: {
+          Type l = InferType(*e.left, schema);
+          Type r = InferType(*e.right, schema);
+          if (l == Type::kDate || r == Type::kDate) {
+            return e.bin_op == BinOp::kSub && l == Type::kDate &&
+                           r == Type::kDate
+                       ? Type::kInt64
+                       : Type::kDate;
+          }
+          if (l == Type::kDouble || r == Type::kDouble) return Type::kDouble;
+          return Type::kInt64;
+        }
+      }
+    case ExprKind::kAggregate:
+      switch (e.agg_func) {
+        case AggFunc::kCount:
+        case AggFunc::kCountStar:
+          return Type::kInt64;
+        case AggFunc::kAvg:
+          return Type::kDouble;
+        case AggFunc::kSum: {
+          Type t = InferType(*e.args[0], schema);
+          return t == Type::kInt64 ? Type::kInt64 : Type::kDouble;
+        }
+        case AggFunc::kMin:
+        case AggFunc::kMax:
+          return InferType(*e.args[0], schema);
+      }
+      return Type::kNull;
+    case ExprKind::kFunction: {
+      const std::string& f = e.func_name;
+      if (f == "year" || f == "month" || f == "day" || f == "length") {
+        return Type::kInt64;
+      }
+      if (f == "date_add") return Type::kDate;
+      if (f == "substr" || f == "substring" || f == "upper" || f == "lower") {
+        return Type::kString;
+      }
+      if (f == "round" || f == "abs") return InferType(*e.args[0], schema);
+      if (f == "coalesce" && !e.args.empty()) {
+        return InferType(*e.args[0], schema);
+      }
+      return Type::kNull;
+    }
+    case ExprKind::kCase:
+      if (!e.when_clauses.empty()) {
+        return InferType(*e.when_clauses[0].second, schema);
+      }
+      return Type::kNull;
+    case ExprKind::kScalarSubquery:
+      return Type::kDouble;  // unknown without executing; numeric is common
+    default:
+      return Type::kBool;  // predicates
+  }
+}
+
+Bytes KeyOf(const std::vector<Value>& values) {
+  Bytes key;
+  for (const Value& v : values) {
+    // Normalize numerics so INT 3 and DOUBLE 3.0 group/join together.
+    if (v.IsNumeric() && v.type() != Type::kDate) {
+      key.push_back(1);
+      double d = v.AsDouble();
+      uint64_t bits;
+      std::memcpy(&bits, &d, 8);
+      PutU64(&key, bits);
+    } else {
+      v.Serialize(&key);
+    }
+  }
+  return key;
+}
+
+// ---- Scan ----
+
+Result<RelData> ScanRelation(Ctx* ctx, const TableRef& ref,
+                             std::vector<ConjunctInfo>* conjuncts) {
+  RelData rel;
+  std::vector<Row> source_rows;
+  const Table* table = nullptr;
+  if (ref.subquery) {
+    // Derived table: execute and re-qualify its output by the alias.
+    ASSIGN_OR_RETURN(QueryResult sub,
+                     ExecuteSelect(ctx->db, *ref.subquery, ctx->outer,
+                                   ctx->cost, ctx->opts));
+    rel.schema = sub.schema.Qualified(ref.alias);
+    source_rows = std::move(sub.rows);
+  } else {
+    ASSIGN_OR_RETURN(Table * t, ctx->db->GetTable(ref.table_name));
+    table = t;
+    rel.schema = table->schema().Qualified(ref.alias);
+  }
+
+  // Pick pushable single-relation predicates (no subqueries).
+  std::vector<const Expr*> filters;
+  if (conjuncts != nullptr) {
+    for (ConjunctInfo& info : *conjuncts) {
+      if (info.consumed || info.has_subquery) continue;
+      if (!info.columns.empty() && ResolvableBy(info.columns, rel.schema)) {
+        filters.push_back(info.expr);
+        info.consumed = true;
+      }
+    }
+  }
+
+  auto consume = [&](Row& row) -> Result<bool> {
+    if (ctx->stats != nullptr) ++ctx->stats->rows_scanned;
+    ctx->Charge(kScanRowCycles);
+    EvalScope scope{&rel.schema, &row, ctx->outer};
+    for (const Expr* f : filters) {
+      ctx->Charge(kFilterCycles);
+      ASSIGN_OR_RETURN(bool ok, ctx->eval->EvalBool(*f, scope));
+      if (!ok) return false;
+    }
+    rel.rows.push_back(std::move(row));
+    return true;
+  };
+
+  if (table != nullptr) {
+    auto cursor = table->NewCursor(ctx->cost);
+    Row row;
+    while (true) {
+      ASSIGN_OR_RETURN(bool more, cursor->Next(&row));
+      if (!more) break;
+      RETURN_IF_ERROR(consume(row).status());
+    }
+  } else {
+    for (Row& row : source_rows) {
+      RETURN_IF_ERROR(consume(row).status());
+    }
+  }
+  return rel;
+}
+
+// ---- Join ----
+
+struct EquiKey {
+  const Expr* left_expr;   // resolves against the left schema
+  const Expr* right_expr;  // resolves against the right schema
+};
+
+Result<RelData> JoinRelations(Ctx* ctx, RelData left, RelData right,
+                              std::vector<ConjunctInfo>* conjuncts,
+                              const Expr* on) {
+  Schema combined = Schema::Concat(left.schema, right.schema);
+
+  // Gather applicable predicates: the ON clause plus WHERE conjuncts that
+  // resolve against the combined schema but not either input alone.
+  std::vector<ConjunctInfo> on_infos = AnalyzeConjuncts(on);
+  std::vector<ConjunctInfo*> applicable;
+  for (ConjunctInfo& info : on_infos) applicable.push_back(&info);
+  if (conjuncts != nullptr) {
+    for (ConjunctInfo& info : *conjuncts) {
+      if (info.consumed || info.has_subquery || info.columns.empty()) continue;
+      if (ResolvableBy(info.columns, combined)) {
+        applicable.push_back(&info);
+        info.consumed = true;
+      }
+    }
+  }
+
+  // Split into equi-join keys and residual predicates.
+  std::vector<EquiKey> keys;
+  std::vector<const Expr*> residual;
+  for (ConjunctInfo* info : applicable) {
+    const Expr* e = info->expr;
+    bool is_equi = false;
+    if (e->kind == ExprKind::kBinary && e->bin_op == BinOp::kEq) {
+      std::set<std::string> lcols, rcols;
+      bool lsub = false, rsub = false;
+      CollectColumns(*e->left, &lcols, &lsub);
+      CollectColumns(*e->right, &rcols, &rsub);
+      if (!lsub && !rsub && !lcols.empty() && !rcols.empty()) {
+        if (ResolvableBy(lcols, left.schema) &&
+            ResolvableBy(rcols, right.schema)) {
+          keys.push_back(EquiKey{e->left.get(), e->right.get()});
+          is_equi = true;
+        } else if (ResolvableBy(lcols, right.schema) &&
+                   ResolvableBy(rcols, left.schema)) {
+          keys.push_back(EquiKey{e->right.get(), e->left.get()});
+          is_equi = true;
+        }
+      }
+    }
+    if (!is_equi) residual.push_back(e);
+  }
+
+  RelData out;
+  out.schema = combined;
+
+  auto emit = [&](const Row& l, const Row& r) -> Result<bool> {
+    Row joined = l;
+    joined.insert(joined.end(), r.begin(), r.end());
+    EvalScope scope{&combined, &joined, ctx->outer};
+    for (const Expr* e : residual) {
+      ctx->Charge(kFilterCycles);
+      ASSIGN_OR_RETURN(bool ok, ctx->eval->EvalBool(*e, scope));
+      if (!ok) return false;
+    }
+    out.rows.push_back(std::move(joined));
+    return true;
+  };
+
+  if (!keys.empty()) {
+    // Hash join; build on the smaller input (right by default).
+    bool build_right = RelBytes(right) <= RelBytes(left);
+    const RelData& build = build_right ? right : left;
+    const RelData& probe = build_right ? left : right;
+
+    std::unordered_map<std::string, std::vector<size_t>> table;
+    table.reserve(build.rows.size());
+    for (size_t i = 0; i < build.rows.size(); ++i) {
+      ctx->Charge(kJoinBuildCycles);
+      std::vector<Value> kv;
+      EvalScope scope{&build.schema, &build.rows[i], ctx->outer};
+      for (const EquiKey& k : keys) {
+        const Expr* e = build_right ? k.right_expr : k.left_expr;
+        ASSIGN_OR_RETURN(Value v, ctx->eval->Eval(*e, scope));
+        kv.push_back(std::move(v));
+      }
+      Bytes key = KeyOf(kv);
+      table[std::string(key.begin(), key.end())].push_back(i);
+    }
+    ctx->TrackMemory(RelBytes(build));
+
+    for (const Row& prow : probe.rows) {
+      ctx->Charge(kJoinProbeCycles);
+      std::vector<Value> kv;
+      EvalScope scope{&probe.schema, &prow, ctx->outer};
+      for (const EquiKey& k : keys) {
+        const Expr* e = build_right ? k.left_expr : k.right_expr;
+        ASSIGN_OR_RETURN(Value v, ctx->eval->Eval(*e, scope));
+        kv.push_back(std::move(v));
+      }
+      Bytes key = KeyOf(kv);
+      auto it = table.find(std::string(key.begin(), key.end()));
+      if (it == table.end()) continue;
+      for (size_t bi : it->second) {
+        const Row& l = build_right ? prow : build.rows[bi];
+        const Row& r = build_right ? build.rows[bi] : prow;
+        RETURN_IF_ERROR(emit(l, r).status());
+      }
+    }
+  } else {
+    // Nested-loop (cross product + residual filter).
+    ctx->TrackMemory(RelBytes(right));
+    for (const Row& l : left.rows) {
+      for (const Row& r : right.rows) {
+        ctx->Charge(kJoinProbeCycles);
+        RETURN_IF_ERROR(emit(l, r).status());
+      }
+    }
+  }
+  return out;
+}
+
+// ---- Aggregation ----
+
+struct AggState {
+  double sum = 0;
+  int64_t isum = 0;
+  bool all_int = true;
+  uint64_t count = 0;
+  Value min, max;
+  std::set<std::string> distinct;  // serialized values for DISTINCT
+};
+
+Result<RelData> Aggregate(Ctx* ctx, RelData input, const SelectStmt& stmt,
+                          std::map<std::string, const Expr*> agg_exprs) {
+  RelData out;
+  // Output schema: group-by exprs then aggregates, named by printed form.
+  std::vector<const Expr*> group_exprs;
+  for (const auto& g : stmt.group_by) group_exprs.push_back(g.get());
+
+  for (const Expr* g : group_exprs) {
+    out.schema.AddColumn(Column{g->ToString(), InferType(*g, input.schema)});
+  }
+  std::vector<const Expr*> aggs;
+  for (const auto& [name, e] : agg_exprs) {
+    aggs.push_back(e);
+    out.schema.AddColumn(Column{name, InferType(*e, input.schema)});
+  }
+
+  std::map<std::string, std::pair<std::vector<Value>, std::vector<AggState>>>
+      groups;
+
+  for (const Row& row : input.rows) {
+    ctx->Charge(kAggUpdateCycles);
+    EvalScope scope{&input.schema, &row, ctx->outer};
+    std::vector<Value> gvals;
+    for (const Expr* g : group_exprs) {
+      ASSIGN_OR_RETURN(Value v, ctx->eval->Eval(*g, scope));
+      gvals.push_back(std::move(v));
+    }
+    Bytes key = KeyOf(gvals);
+    auto [it, inserted] = groups.try_emplace(
+        std::string(key.begin(), key.end()),
+        std::make_pair(std::move(gvals), std::vector<AggState>(aggs.size())));
+    auto& states = it->second.second;
+
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      const Expr* a = aggs[i];
+      AggState& st = states[i];
+      if (a->agg_func == AggFunc::kCountStar) {
+        ++st.count;
+        continue;
+      }
+      ASSIGN_OR_RETURN(Value v, ctx->eval->Eval(*a->args[0], scope));
+      if (v.is_null()) continue;
+      if (a->distinct) {
+        Bytes ser;
+        v.Serialize(&ser);
+        st.distinct.insert(std::string(ser.begin(), ser.end()));
+        continue;
+      }
+      switch (a->agg_func) {
+        case AggFunc::kCount:
+          ++st.count;
+          break;
+        case AggFunc::kSum:
+        case AggFunc::kAvg:
+          ++st.count;
+          st.sum += v.AsDouble();
+          if (v.type() == Type::kInt64) {
+            st.isum += v.AsInt();
+          } else {
+            st.all_int = false;
+          }
+          break;
+        case AggFunc::kMin:
+          if (st.count == 0 || v.Compare(st.min) < 0) st.min = v;
+          ++st.count;
+          break;
+        case AggFunc::kMax:
+          if (st.count == 0 || v.Compare(st.max) > 0) st.max = v;
+          ++st.count;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  // Global aggregate over zero rows still yields one output row.
+  if (groups.empty() && group_exprs.empty()) {
+    groups.emplace("", std::make_pair(std::vector<Value>{},
+                                      std::vector<AggState>(aggs.size())));
+  }
+
+  uint64_t mem = 0;
+  for (auto& [key, group] : groups) {
+    mem += key.size() + group.second.size() * sizeof(AggState);
+    Row row = group.first;
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      const Expr* a = aggs[i];
+      AggState& st = group.second[i];
+      switch (a->agg_func) {
+        case AggFunc::kCountStar:
+        case AggFunc::kCount:
+          row.push_back(Value::Int(
+              a->distinct ? static_cast<int64_t>(st.distinct.size())
+                          : static_cast<int64_t>(st.count)));
+          break;
+        case AggFunc::kSum:
+          if (st.count == 0) {
+            row.push_back(Value::Null());
+          } else if (st.all_int) {
+            row.push_back(Value::Int(st.isum));
+          } else {
+            row.push_back(Value::Double(st.sum));
+          }
+          break;
+        case AggFunc::kAvg:
+          row.push_back(st.count == 0
+                            ? Value::Null()
+                            : Value::Double(st.sum /
+                                            static_cast<double>(st.count)));
+          break;
+        case AggFunc::kMin:
+          row.push_back(st.count == 0 ? Value::Null() : st.min);
+          break;
+        case AggFunc::kMax:
+          row.push_back(st.count == 0 ? Value::Null() : st.max);
+          break;
+      }
+    }
+    out.rows.push_back(std::move(row));
+  }
+  ctx->TrackMemory(mem);
+  return out;
+}
+
+}  // namespace
+
+Result<QueryResult> ExecuteSelect(Database* db, const SelectStmt& stmt,
+                                  const EvalScope* outer, sim::CostModel* cost,
+                                  const ExecOptions& opts, ExecStats* stats) {
+  Ctx ctx;
+  ctx.db = db;
+  ctx.cost = cost;
+  ctx.opts = opts;
+  ctx.stats = stats;
+  ctx.outer = outer;
+  ctx.runner = std::make_unique<ExecSubqueryRunner>(db, cost, opts);
+  ctx.eval = std::make_unique<Evaluator>(ctx.runner.get());
+
+  if (stmt.from.empty()) {
+    // SELECT without FROM: evaluate items once against the outer scope.
+    QueryResult result;
+    EvalScope scope{nullptr, nullptr, outer};
+    Row row;
+    for (const SelectItem& item : stmt.items) {
+      ASSIGN_OR_RETURN(Value v, ctx.eval->Eval(*item.expr, scope));
+      result.schema.AddColumn(Column{
+          item.alias.empty() ? item.expr->ToString() : item.alias, v.type()});
+      row.push_back(std::move(v));
+    }
+    result.rows.push_back(std::move(row));
+    return result;
+  }
+
+  std::vector<ConjunctInfo> conjuncts = AnalyzeConjuncts(stmt.where.get());
+
+  // 1. Scan the first relation, then fold in the rest.
+  ASSIGN_OR_RETURN(RelData current, ScanRelation(&ctx, stmt.from[0], &conjuncts));
+  for (size_t i = 1; i < stmt.from.size(); ++i) {
+    ASSIGN_OR_RETURN(RelData next, ScanRelation(&ctx, stmt.from[i], &conjuncts));
+    ASSIGN_OR_RETURN(current, JoinRelations(&ctx, std::move(current),
+                                            std::move(next), &conjuncts,
+                                            nullptr));
+  }
+  for (const JoinClause& join : stmt.joins) {
+    ASSIGN_OR_RETURN(RelData next, ScanRelation(&ctx, join.table, &conjuncts));
+    ASSIGN_OR_RETURN(current, JoinRelations(&ctx, std::move(current),
+                                            std::move(next), &conjuncts,
+                                            join.on.get()));
+  }
+
+  // 2. Residual predicates (incl. subquery predicates, correlated ones
+  //    see the current row through the scope chain).
+  {
+    std::vector<const Expr*> residual;
+    for (ConjunctInfo& info : conjuncts) {
+      if (!info.consumed) residual.push_back(info.expr);
+    }
+    if (!residual.empty()) {
+      std::vector<Row> kept;
+      for (Row& row : current.rows) {
+        EvalScope scope{&current.schema, &row, ctx.outer};
+        bool pass = true;
+        for (const Expr* e : residual) {
+          ctx.Charge(kFilterCycles);
+          ASSIGN_OR_RETURN(bool ok, ctx.eval->EvalBool(*e, scope));
+          if (!ok) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) kept.push_back(std::move(row));
+      }
+      current.rows = std::move(kept);
+    }
+  }
+
+  // 3. Aggregation.
+  std::map<std::string, const Expr*> agg_exprs;
+  for (const SelectItem& item : stmt.items) {
+    CollectAggregates(*item.expr, &agg_exprs);
+  }
+  if (stmt.having) CollectAggregates(*stmt.having, &agg_exprs);
+  for (const OrderItem& o : stmt.order_by) CollectAggregates(*o.expr, &agg_exprs);
+
+  bool aggregated = !agg_exprs.empty() || !stmt.group_by.empty();
+  std::set<std::string> rewrite_names;
+  std::vector<SelectItem> items;  // possibly rewritten select list
+  ExprPtr having;
+  std::vector<OrderItem> order_by;
+
+  if (aggregated) {
+    for (const auto& g : stmt.group_by) rewrite_names.insert(g->ToString());
+    for (const auto& [name, e] : agg_exprs) rewrite_names.insert(name);
+    ASSIGN_OR_RETURN(current, Aggregate(&ctx, std::move(current), stmt,
+                                        agg_exprs));
+    for (const SelectItem& item : stmt.items) {
+      items.push_back(SelectItem{RewriteToColumns(*item.expr, rewrite_names),
+                                 item.alias});
+    }
+    if (stmt.having) having = RewriteToColumns(*stmt.having, rewrite_names);
+    for (const OrderItem& o : stmt.order_by) {
+      order_by.push_back(
+          OrderItem{RewriteToColumns(*o.expr, rewrite_names), o.desc});
+    }
+  } else {
+    for (const SelectItem& item : stmt.items) {
+      items.push_back(SelectItem{item.expr->Clone(), item.alias});
+    }
+    if (stmt.having) {
+      return Status::InvalidArgument("HAVING requires GROUP BY or aggregates");
+    }
+    for (const OrderItem& o : stmt.order_by) {
+      order_by.push_back(OrderItem{o.expr->Clone(), o.desc});
+    }
+  }
+
+  // 4. HAVING.
+  if (having) {
+    std::vector<Row> kept;
+    for (Row& row : current.rows) {
+      ctx.Charge(kFilterCycles);
+      EvalScope scope{&current.schema, &row, ctx.outer};
+      ASSIGN_OR_RETURN(bool ok, ctx.eval->EvalBool(*having, scope));
+      if (ok) kept.push_back(std::move(row));
+    }
+    current.rows = std::move(kept);
+  }
+
+  // 5. Projection (with * expansion). ORDER BY keys that do not resolve
+  //    against the projected schema (e.g. ORDER BY a non-projected column)
+  //    are evaluated against the pre-projection row and carried as hidden
+  //    keys alongside each output row.
+  QueryResult result;
+  std::vector<bool> order_from_input(order_by.size(), false);
+  std::vector<std::vector<Value>> hidden_keys;
+  {
+    bool star_only = items.size() == 1 && items[0].expr->kind == ExprKind::kStar;
+    if (star_only) {
+      result.schema = current.schema;
+      result.rows = std::move(current.rows);
+    } else {
+      for (const SelectItem& item : items) {
+        if (item.expr->kind == ExprKind::kStar) {
+          return Status::InvalidArgument(
+              "* must be the only item in a SELECT list");
+        }
+        std::string name = item.alias;
+        if (name.empty()) {
+          if (item.expr->kind == ExprKind::kColumn) {
+            const std::string& cn = item.expr->column_name;
+            size_t dot = cn.rfind('.');
+            name = dot == std::string::npos ? cn : cn.substr(dot + 1);
+          } else {
+            name = item.expr->ToString();
+          }
+        }
+        result.schema.AddColumn(
+            Column{name, InferType(*item.expr, current.schema)});
+      }
+      // Decide which ORDER BY keys need the pre-projection row.
+      for (size_t k = 0; k < order_by.size(); ++k) {
+        std::set<std::string> cols;
+        bool sub = false;
+        CollectColumns(*order_by[k].expr, &cols, &sub);
+        if (!ResolvableBy(cols, result.schema)) order_from_input[k] = true;
+      }
+      bool any_hidden = std::any_of(order_from_input.begin(),
+                                    order_from_input.end(),
+                                    [](bool b) { return b; });
+      for (const Row& row : current.rows) {
+        ctx.Charge(kProjectCycles);
+        EvalScope scope{&current.schema, &row, ctx.outer};
+        Row out_row;
+        out_row.reserve(items.size());
+        for (const SelectItem& item : items) {
+          ASSIGN_OR_RETURN(Value v, ctx.eval->Eval(*item.expr, scope));
+          out_row.push_back(std::move(v));
+        }
+        if (any_hidden) {
+          std::vector<Value> hk;
+          for (size_t k = 0; k < order_by.size(); ++k) {
+            if (!order_from_input[k]) continue;
+            ASSIGN_OR_RETURN(Value v, ctx.eval->Eval(*order_by[k].expr, scope));
+            hk.push_back(std::move(v));
+          }
+          hidden_keys.push_back(std::move(hk));
+        }
+        result.rows.push_back(std::move(out_row));
+      }
+    }
+  }
+
+  // 6. DISTINCT (dedupe on the visible columns, keeping the first row).
+  if (stmt.distinct) {
+    std::set<std::string> seen;
+    std::vector<Row> kept;
+    std::vector<std::vector<Value>> kept_hidden;
+    for (size_t i = 0; i < result.rows.size(); ++i) {
+      Bytes key = KeyOf(result.rows[i]);
+      if (seen.insert(std::string(key.begin(), key.end())).second) {
+        kept.push_back(std::move(result.rows[i]));
+        if (!hidden_keys.empty()) {
+          kept_hidden.push_back(std::move(hidden_keys[i]));
+        }
+      }
+    }
+    result.rows = std::move(kept);
+    hidden_keys = std::move(kept_hidden);
+  }
+
+  // 7. ORDER BY: output-schema keys evaluated on the projected row,
+  //    input-schema keys read from the hidden key vector.
+  if (!order_by.empty()) {
+    struct SortKey {
+      std::vector<Value> keys;
+      size_t index;
+    };
+    std::vector<SortKey> sort_keys(result.rows.size());
+    for (size_t i = 0; i < result.rows.size(); ++i) {
+      EvalScope scope{&result.schema, &result.rows[i], ctx.outer};
+      sort_keys[i].index = i;
+      size_t hidden_pos = 0;
+      for (size_t k = 0; k < order_by.size(); ++k) {
+        if (order_from_input[k]) {
+          sort_keys[i].keys.push_back(hidden_keys[i][hidden_pos++]);
+          continue;
+        }
+        ASSIGN_OR_RETURN(Value v, ctx.eval->Eval(*order_by[k].expr, scope));
+        sort_keys[i].keys.push_back(std::move(v));
+      }
+    }
+    size_t n = result.rows.size();
+    if (n > 1) {
+      ctx.Charge(kSortCmpCycles * n *
+                 static_cast<uint64_t>(std::max(1.0, std::log2(double(n)))));
+    }
+    std::stable_sort(sort_keys.begin(), sort_keys.end(),
+                     [&](const SortKey& a, const SortKey& b) {
+                       for (size_t k = 0; k < order_by.size(); ++k) {
+                         int c = a.keys[k].Compare(b.keys[k]);
+                         if (c != 0) return order_by[k].desc ? c > 0 : c < 0;
+                       }
+                       return false;
+                     });
+    std::vector<Row> sorted;
+    sorted.reserve(n);
+    for (const SortKey& sk : sort_keys) {
+      sorted.push_back(std::move(result.rows[sk.index]));
+    }
+    result.rows = std::move(sorted);
+    ctx.TrackMemory(RelBytes(RelData{result.schema, result.rows}));
+  }
+
+  // 8. LIMIT.
+  if (stmt.limit >= 0 &&
+      result.rows.size() > static_cast<size_t>(stmt.limit)) {
+    result.rows.resize(stmt.limit);
+  }
+
+  if (stats != nullptr) stats->rows_output += result.rows.size();
+  ctx.FlushCharges();
+  return result;
+}
+
+}  // namespace ironsafe::sql

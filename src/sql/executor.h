@@ -1,0 +1,47 @@
+#ifndef IRONSAFE_SQL_EXECUTOR_H_
+#define IRONSAFE_SQL_EXECUTOR_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "sql/eval.h"
+#include "sim/cost_model.h"
+
+namespace ironsafe::sql {
+
+class Database;
+
+/// Execution knobs. `site` decides which simulated CPU is charged for
+/// operator work; `memory_cap_bytes` models the storage server's memory
+/// limit (paper Figure 11) — working sets beyond it pay spill I/O;
+/// `parallelism` is the scan fan-out (capped by the site's core count,
+/// paper Figure 10).
+struct ExecOptions {
+  sim::Site site = sim::Site::kHost;
+  uint64_t memory_cap_bytes = UINT64_MAX;
+  int parallelism = 1;
+};
+
+/// Statistics accumulated while executing one query.
+struct ExecStats {
+  uint64_t rows_scanned = 0;
+  uint64_t rows_output = 0;
+  uint64_t peak_memory_bytes = 0;
+  uint64_t spill_bytes = 0;
+};
+
+/// Executes a SELECT against `db`. `outer` is the correlation scope for
+/// subqueries (null at top level). Work is charged to `cost` per the
+/// options. The pipeline: scan+pushed filters -> joins (hash when an
+/// equi-predicate exists, else nested loop) -> residual predicates ->
+/// aggregation -> HAVING -> projection -> DISTINCT -> ORDER BY -> LIMIT.
+Result<QueryResult> ExecuteSelect(Database* db, const SelectStmt& stmt,
+                                  const EvalScope* outer,
+                                  sim::CostModel* cost,
+                                  const ExecOptions& opts = {},
+                                  ExecStats* stats = nullptr);
+
+}  // namespace ironsafe::sql
+
+#endif  // IRONSAFE_SQL_EXECUTOR_H_

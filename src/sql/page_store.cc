@@ -1,0 +1,52 @@
+#include "sql/page_store.h"
+
+namespace ironsafe::sql {
+
+Result<Bytes> PlainPageStore::ReadPage(uint64_t id, sim::CostModel* cost) {
+  return device_->ReadFrame(id, cost);
+}
+
+Status PlainPageStore::WritePage(uint64_t id, const Bytes& page,
+                                 sim::CostModel* cost) {
+  (void)cost;
+  if (page.size() != kPageSize) {
+    return Status::InvalidArgument("page must be 4096 bytes");
+  }
+  if (id >= next_page_) next_page_ = id + 1;
+  device_->WriteFrame(id, page);
+  return Status::OK();
+}
+
+Result<Bytes> SecurePageStore::ReadPage(uint64_t id, sim::CostModel* cost) {
+  return store_->ReadPage(id, cost);
+}
+
+Status SecurePageStore::WritePage(uint64_t id, const Bytes& page,
+                                  sim::CostModel* cost) {
+  if (id >= next_page_) next_page_ = id + 1;
+  return store_->WritePage(id, page, cost);
+}
+
+uint64_t SecurePageStore::Allocate() {
+  if (next_page_ < store_->num_pages()) next_page_ = store_->num_pages();
+  return next_page_++;
+}
+
+Result<Bytes> MemoryPageStore::ReadPage(uint64_t id, sim::CostModel* cost) {
+  (void)cost;  // in-memory: no device charge
+  if (id >= pages_.size()) return Status::NotFound("no such page");
+  return pages_[id];
+}
+
+Status MemoryPageStore::WritePage(uint64_t id, const Bytes& page,
+                                  sim::CostModel* cost) {
+  (void)cost;
+  if (page.size() != kPageSize) {
+    return Status::InvalidArgument("page must be 4096 bytes");
+  }
+  if (id >= pages_.size()) pages_.resize(id + 1);
+  pages_[id] = page;
+  return Status::OK();
+}
+
+}  // namespace ironsafe::sql

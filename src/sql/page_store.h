@@ -1,0 +1,120 @@
+#ifndef IRONSAFE_SQL_PAGE_STORE_H_
+#define IRONSAFE_SQL_PAGE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "securestore/secure_store.h"
+#include "sim/cost_model.h"
+#include "storage/block_device.h"
+
+namespace ironsafe::sql {
+
+/// Fixed-size page storage abstraction under the relational engine.
+/// Implementations differ in where pages live and what security work the
+/// read path performs — this is exactly the seam the paper's five system
+/// configurations (Table 2) vary.
+class PageStore {
+ public:
+  static constexpr size_t kPageSize = 4096;
+
+  virtual ~PageStore() = default;
+
+  virtual Result<Bytes> ReadPage(uint64_t id, sim::CostModel* cost) = 0;
+  virtual Status WritePage(uint64_t id, const Bytes& page,
+                           sim::CostModel* cost) = 0;
+
+  /// Allocates a fresh page id.
+  virtual uint64_t Allocate() = 0;
+  virtual uint64_t num_pages() const = 0;
+
+  /// Bulk-load bracket (secure stores defer their root commit).
+  virtual void BeginBatch() {}
+  virtual Status EndBatch() { return Status::OK(); }
+};
+
+/// Plaintext pages on an untrusted block device (the non-secure baselines
+/// hons / vcs).
+class PlainPageStore : public PageStore {
+ public:
+  explicit PlainPageStore(storage::BlockDevice* device) : device_(device) {}
+
+  Result<Bytes> ReadPage(uint64_t id, sim::CostModel* cost) override;
+  Status WritePage(uint64_t id, const Bytes& page,
+                   sim::CostModel* cost) override;
+  uint64_t Allocate() override { return next_page_++; }
+  uint64_t num_pages() const override { return next_page_; }
+
+ private:
+  storage::BlockDevice* device_;
+  uint64_t next_page_ = 0;
+};
+
+/// Encrypted/integrity/freshness-protected pages (hos / scs / sos).
+class SecurePageStore : public PageStore {
+ public:
+  explicit SecurePageStore(securestore::SecureStore* store) : store_(store) {}
+
+  /// Which CPU pays the verification cost (host in hos, storage in scs/sos).
+  void set_site(sim::Site site) { store_->set_site(site); }
+
+  Result<Bytes> ReadPage(uint64_t id, sim::CostModel* cost) override;
+  Status WritePage(uint64_t id, const Bytes& page,
+                   sim::CostModel* cost) override;
+  uint64_t Allocate() override;
+  uint64_t num_pages() const override { return next_page_; }
+  void BeginBatch() override { store_->BeginBatch(); }
+  Status EndBatch() override { return store_->EndBatch(); }
+
+ private:
+  securestore::SecureStore* store_;
+  uint64_t next_page_ = 0;
+};
+
+/// Decorator that additionally ships every page over the network — the
+/// host-only configurations access the storage server's pages via NFS
+/// (paper §6.1), paying network transfer on top of the remote disk read.
+class RemotePageStore : public PageStore {
+ public:
+  explicit RemotePageStore(PageStore* inner) : inner_(inner) {}
+
+  Result<Bytes> ReadPage(uint64_t id, sim::CostModel* cost) override {
+    ASSIGN_OR_RETURN(Bytes page, inner_->ReadPage(id, cost));
+    if (cost != nullptr) cost->ChargeNetwork(page.size());
+    return page;
+  }
+  Status WritePage(uint64_t id, const Bytes& page,
+                   sim::CostModel* cost) override {
+    if (cost != nullptr) cost->ChargeNetwork(page.size());
+    return inner_->WritePage(id, page, cost);
+  }
+  uint64_t Allocate() override { return inner_->Allocate(); }
+  uint64_t num_pages() const override { return inner_->num_pages(); }
+  void BeginBatch() override { inner_->BeginBatch(); }
+  Status EndBatch() override { return inner_->EndBatch(); }
+
+ private:
+  PageStore* inner_;
+};
+
+/// Pure in-memory page store (host-side intermediate tables).
+class MemoryPageStore : public PageStore {
+ public:
+  Result<Bytes> ReadPage(uint64_t id, sim::CostModel* cost) override;
+  Status WritePage(uint64_t id, const Bytes& page,
+                   sim::CostModel* cost) override;
+  uint64_t Allocate() override {
+    pages_.emplace_back();
+    return pages_.size() - 1;
+  }
+  uint64_t num_pages() const override { return pages_.size(); }
+
+ private:
+  std::vector<Bytes> pages_;
+};
+
+}  // namespace ironsafe::sql
+
+#endif  // IRONSAFE_SQL_PAGE_STORE_H_

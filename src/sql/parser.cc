@@ -1,0 +1,687 @@
+#include "sql/parser.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "sql/tokenizer.h"
+
+namespace ironsafe::sql {
+
+namespace {
+
+std::string Lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement();
+  Result<std::unique_ptr<SelectStmt>> ParseSelectStmt();
+  Result<ExprPtr> ParseExpr();
+
+  Status ExpectEnd() {
+    // Allow a trailing semicolon.
+    MatchSymbol(";");
+    if (!AtEnd()) return Error("trailing tokens after statement");
+    return Status::OK();
+  }
+
+ private:
+  const Token& Peek(size_t k = 0) const {
+    size_t i = std::min(pos_ + k, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  bool MatchKeyword(std::string_view kw) {
+    if (Peek().IsKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool MatchSymbol(std::string_view s) {
+    if (Peek().IsSymbol(s)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (MatchKeyword(kw)) return Status::OK();
+    return Error(std::string("expected ") + std::string(kw));
+  }
+  Status ExpectSymbol(std::string_view s) {
+    if (MatchSymbol(s)) return Status::OK();
+    return Error(std::string("expected '") + std::string(s) + "'");
+  }
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument(msg + " near offset " +
+                                   std::to_string(Peek().offset) + " ('" +
+                                   Peek().text + "')");
+  }
+
+  Result<std::string> ExpectIdent() {
+    if (Peek().kind != TokenKind::kIdent) return Error("expected identifier");
+    return Advance().text;
+  }
+
+  // Expression precedence levels.
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParsePredicate();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePrimary();
+
+  Result<ExprPtr> ParseIntervalTail(ExprPtr base, bool subtract);
+  Result<ExprPtr> ParseCase();
+  Result<ExprPtr> ParseFunctionCall(const std::string& name);
+
+  Result<TableRef> ParseTableRef();
+  Result<Statement> ParseCreateTable();
+  Result<Statement> ParseInsert();
+  Result<Statement> ParseDelete();
+  Result<Statement> ParseUpdate();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+bool IsReservedAliasBlocker(const Token& t) {
+  static constexpr std::string_view kBlockers[] = {
+      "FROM",  "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "JOIN",
+      "INNER", "ON",    "AND",   "OR",     "AS",    "ASC",   "DESC",
+      "SET",   "VALUES"};
+  for (auto kw : kBlockers) {
+    if (t.IsKeyword(kw)) return true;
+  }
+  return false;
+}
+
+Result<Statement> Parser::ParseStatement() {
+  if (Peek().IsKeyword("SELECT")) {
+    Statement stmt;
+    stmt.kind = Statement::Kind::kSelect;
+    ASSIGN_OR_RETURN(stmt.select, ParseSelectStmt());
+    RETURN_IF_ERROR(ExpectEnd());
+    return stmt;
+  }
+  if (Peek().IsKeyword("CREATE")) return ParseCreateTable();
+  if (Peek().IsKeyword("INSERT")) return ParseInsert();
+  if (Peek().IsKeyword("DELETE")) return ParseDelete();
+  if (Peek().IsKeyword("UPDATE")) return ParseUpdate();
+  return Error("expected SELECT, CREATE, INSERT, DELETE or UPDATE");
+}
+
+Result<std::unique_ptr<SelectStmt>> Parser::ParseSelectStmt() {
+  RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+  auto stmt = std::make_unique<SelectStmt>();
+  stmt->distinct = MatchKeyword("DISTINCT");
+
+  // Select list.
+  do {
+    if (MatchSymbol("*")) {
+      auto star = std::make_unique<Expr>();
+      star->kind = ExprKind::kStar;
+      stmt->items.push_back(SelectItem{std::move(star), ""});
+      continue;
+    }
+    SelectItem item;
+    ASSIGN_OR_RETURN(item.expr, ParseExpr());
+    if (MatchKeyword("AS")) {
+      ASSIGN_OR_RETURN(item.alias, ExpectIdent());
+    } else if (Peek().kind == TokenKind::kIdent &&
+               !IsReservedAliasBlocker(Peek())) {
+      item.alias = Advance().text;
+    }
+    stmt->items.push_back(std::move(item));
+  } while (MatchSymbol(","));
+
+  if (MatchKeyword("FROM")) {
+    do {
+      ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+      stmt->from.push_back(std::move(ref));
+    } while (MatchSymbol(","));
+
+    while (Peek().IsKeyword("JOIN") || Peek().IsKeyword("INNER")) {
+      MatchKeyword("INNER");
+      RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+      JoinClause join;
+      ASSIGN_OR_RETURN(join.table, ParseTableRef());
+      RETURN_IF_ERROR(ExpectKeyword("ON"));
+      ASSIGN_OR_RETURN(join.on, ParseExpr());
+      stmt->joins.push_back(std::move(join));
+    }
+  }
+
+  if (MatchKeyword("WHERE")) {
+    ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+  if (MatchKeyword("GROUP")) {
+    RETURN_IF_ERROR(ExpectKeyword("BY"));
+    do {
+      ASSIGN_OR_RETURN(ExprPtr g, ParseExpr());
+      stmt->group_by.push_back(std::move(g));
+    } while (MatchSymbol(","));
+  }
+  if (MatchKeyword("HAVING")) {
+    ASSIGN_OR_RETURN(stmt->having, ParseExpr());
+  }
+  if (MatchKeyword("ORDER")) {
+    RETURN_IF_ERROR(ExpectKeyword("BY"));
+    do {
+      OrderItem item;
+      ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("DESC")) {
+        item.desc = true;
+      } else {
+        MatchKeyword("ASC");
+      }
+      stmt->order_by.push_back(std::move(item));
+    } while (MatchSymbol(","));
+  }
+  if (MatchKeyword("LIMIT")) {
+    if (Peek().kind != TokenKind::kInt) return Error("expected LIMIT count");
+    stmt->limit = Advance().int_value;
+  }
+  return stmt;
+}
+
+Result<TableRef> Parser::ParseTableRef() {
+  TableRef ref;
+  if (MatchSymbol("(")) {
+    // Derived table: (SELECT ...) alias
+    ASSIGN_OR_RETURN(ref.subquery, ParseSelectStmt());
+    RETURN_IF_ERROR(ExpectSymbol(")"));
+    MatchKeyword("AS");
+    ASSIGN_OR_RETURN(ref.alias, ExpectIdent());
+    return ref;
+  }
+  ASSIGN_OR_RETURN(ref.table_name, ExpectIdent());
+  if (MatchKeyword("AS")) {
+    ASSIGN_OR_RETURN(ref.alias, ExpectIdent());
+  } else if (Peek().kind == TokenKind::kIdent &&
+             !IsReservedAliasBlocker(Peek())) {
+    ref.alias = Advance().text;
+  } else {
+    ref.alias = ref.table_name;
+  }
+  return ref;
+}
+
+Result<ExprPtr> Parser::ParseExpr() { return ParseOr(); }
+
+Result<ExprPtr> Parser::ParseOr() {
+  ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+  while (MatchKeyword("OR")) {
+    ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+    left = Expr::MakeBinary(BinOp::kOr, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+  while (MatchKeyword("AND")) {
+    ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+    left = Expr::MakeBinary(BinOp::kAnd, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (MatchKeyword("NOT")) {
+    ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+    return Expr::MakeUnary(UnOp::kNot, std::move(operand));
+  }
+  return ParsePredicate();
+}
+
+Result<ExprPtr> Parser::ParsePredicate() {
+  ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+
+  // Comparison operators.
+  struct CmpMap {
+    std::string_view sym;
+    BinOp op;
+  };
+  static constexpr CmpMap kCmps[] = {
+      {"<=", BinOp::kLe}, {">=", BinOp::kGe}, {"<>", BinOp::kNe},
+      {"!=", BinOp::kNe}, {"=", BinOp::kEq},  {"<", BinOp::kLt},
+      {">", BinOp::kGt}};
+  for (const auto& c : kCmps) {
+    if (MatchSymbol(c.sym)) {
+      ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+      return Expr::MakeBinary(c.op, std::move(left), std::move(right));
+    }
+  }
+
+  bool negated = MatchKeyword("NOT");
+
+  if (MatchKeyword("BETWEEN")) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kBetween;
+    e->left = std::move(left);
+    ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+    RETURN_IF_ERROR(ExpectKeyword("AND"));
+    ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+    e->args.push_back(std::move(lo));
+    e->args.push_back(std::move(hi));
+    if (negated) return Expr::MakeUnary(UnOp::kNot, std::move(e));
+    return e;
+  }
+  if (MatchKeyword("IN")) {
+    RETURN_IF_ERROR(ExpectSymbol("("));
+    auto e = std::make_unique<Expr>();
+    e->left = std::move(left);
+    e->negated = negated;
+    if (Peek().IsKeyword("SELECT")) {
+      e->kind = ExprKind::kInSubquery;
+      ASSIGN_OR_RETURN(e->subquery, ParseSelectStmt());
+    } else {
+      e->kind = ExprKind::kInList;
+      do {
+        ASSIGN_OR_RETURN(ExprPtr item, ParseExpr());
+        e->args.push_back(std::move(item));
+      } while (MatchSymbol(","));
+    }
+    RETURN_IF_ERROR(ExpectSymbol(")"));
+    return e;
+  }
+  if (MatchKeyword("LIKE")) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kLike;
+    e->left = std::move(left);
+    e->negated = negated;
+    ASSIGN_OR_RETURN(ExprPtr pattern, ParseAdditive());
+    e->args.push_back(std::move(pattern));
+    return e;
+  }
+  if (MatchKeyword("IS")) {
+    bool is_not = MatchKeyword("NOT");
+    RETURN_IF_ERROR(ExpectKeyword("NULL"));
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kIsNull;
+    e->left = std::move(left);
+    e->negated = is_not;
+    return e;
+  }
+  if (negated) return Error("expected BETWEEN, IN or LIKE after NOT");
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseIntervalTail(ExprPtr base, bool subtract) {
+  // INTERVAL '<n>' {DAY|MONTH|YEAR}
+  if (Peek().kind != TokenKind::kString && Peek().kind != TokenKind::kInt) {
+    return Error("expected interval quantity");
+  }
+  int64_t n = Peek().kind == TokenKind::kInt
+                  ? Peek().int_value
+                  : std::strtoll(Peek().text.c_str(), nullptr, 10);
+  Advance();
+  std::string unit;
+  if (MatchKeyword("DAY")) {
+    unit = "day";
+  } else if (MatchKeyword("MONTH")) {
+    unit = "month";
+  } else if (MatchKeyword("YEAR")) {
+    unit = "year";
+  } else {
+    return Error("expected DAY, MONTH or YEAR");
+  }
+  std::vector<ExprPtr> args;
+  args.push_back(std::move(base));
+  args.push_back(Expr::MakeLiteral(Value::Int(subtract ? -n : n)));
+  args.push_back(Expr::MakeLiteral(Value::String(unit)));
+  return Expr::MakeFunction("date_add", std::move(args));
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+  while (true) {
+    bool plus = Peek().IsSymbol("+");
+    bool minus = Peek().IsSymbol("-");
+    bool concat = Peek().IsSymbol("||");
+    if (!plus && !minus && !concat) break;
+    Advance();
+    if ((plus || minus) && Peek().IsKeyword("INTERVAL")) {
+      Advance();
+      ASSIGN_OR_RETURN(left, ParseIntervalTail(std::move(left), minus));
+      continue;
+    }
+    ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+    BinOp op = concat ? BinOp::kConcat : (plus ? BinOp::kAdd : BinOp::kSub);
+    left = Expr::MakeBinary(op, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+  while (true) {
+    BinOp op;
+    if (MatchSymbol("*")) {
+      op = BinOp::kMul;
+    } else if (MatchSymbol("/")) {
+      op = BinOp::kDiv;
+    } else if (MatchSymbol("%")) {
+      op = BinOp::kMod;
+    } else {
+      break;
+    }
+    ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+    left = Expr::MakeBinary(op, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseUnary() {
+  if (MatchSymbol("-")) {
+    ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+    return Expr::MakeUnary(UnOp::kNeg, std::move(operand));
+  }
+  MatchSymbol("+");
+  return ParsePrimary();
+}
+
+Result<ExprPtr> Parser::ParseCase() {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kCase;
+  while (MatchKeyword("WHEN")) {
+    ASSIGN_OR_RETURN(ExprPtr when, ParseExpr());
+    RETURN_IF_ERROR(ExpectKeyword("THEN"));
+    ASSIGN_OR_RETURN(ExprPtr then, ParseExpr());
+    e->when_clauses.emplace_back(std::move(when), std::move(then));
+  }
+  if (e->when_clauses.empty()) return Error("CASE requires WHEN");
+  if (MatchKeyword("ELSE")) {
+    ASSIGN_OR_RETURN(e->else_expr, ParseExpr());
+  }
+  RETURN_IF_ERROR(ExpectKeyword("END"));
+  return e;
+}
+
+namespace {
+struct AggName {
+  std::string_view name;
+  AggFunc func;
+};
+constexpr AggName kAggs[] = {{"count", AggFunc::kCount},
+                             {"sum", AggFunc::kSum},
+                             {"avg", AggFunc::kAvg},
+                             {"min", AggFunc::kMin},
+                             {"max", AggFunc::kMax}};
+}  // namespace
+
+Result<ExprPtr> Parser::ParseFunctionCall(const std::string& name) {
+  std::string lname = Lower(name);
+  // Aggregates.
+  for (const auto& agg : kAggs) {
+    if (lname == agg.name) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kAggregate;
+      e->agg_func = agg.func;
+      e->distinct = MatchKeyword("DISTINCT");
+      if (agg.func == AggFunc::kCount && MatchSymbol("*")) {
+        e->agg_func = AggFunc::kCountStar;
+      } else {
+        ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+        e->args.push_back(std::move(arg));
+      }
+      RETURN_IF_ERROR(ExpectSymbol(")"));
+      return e;
+    }
+  }
+  // EXTRACT(YEAR FROM x) -> year(x), etc.
+  if (lname == "extract") {
+    std::string field;
+    if (MatchKeyword("YEAR")) {
+      field = "year";
+    } else if (MatchKeyword("MONTH")) {
+      field = "month";
+    } else if (MatchKeyword("DAY")) {
+      field = "day";
+    } else {
+      return Error("EXTRACT supports YEAR/MONTH/DAY");
+    }
+    RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+    RETURN_IF_ERROR(ExpectSymbol(")"));
+    std::vector<ExprPtr> args;
+    args.push_back(std::move(arg));
+    return Expr::MakeFunction(field, std::move(args));
+  }
+  // Generic scalar function.
+  std::vector<ExprPtr> args;
+  if (!Peek().IsSymbol(")")) {
+    do {
+      ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+      args.push_back(std::move(arg));
+    } while (MatchSymbol(","));
+  }
+  RETURN_IF_ERROR(ExpectSymbol(")"));
+  return Expr::MakeFunction(lname, std::move(args));
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  const Token& t = Peek();
+  if (t.kind == TokenKind::kInt) {
+    Advance();
+    return Expr::MakeLiteral(Value::Int(t.int_value));
+  }
+  if (t.kind == TokenKind::kDouble) {
+    Advance();
+    return Expr::MakeLiteral(Value::Double(t.double_value));
+  }
+  if (t.kind == TokenKind::kString) {
+    Advance();
+    return Expr::MakeLiteral(Value::String(t.text));
+  }
+  if (t.IsKeyword("NULL")) {
+    Advance();
+    return Expr::MakeLiteral(Value::Null());
+  }
+  if (t.IsKeyword("TRUE")) {
+    Advance();
+    return Expr::MakeLiteral(Value::Bool(true));
+  }
+  if (t.IsKeyword("FALSE")) {
+    Advance();
+    return Expr::MakeLiteral(Value::Bool(false));
+  }
+  if (t.IsKeyword("DATE")) {
+    Advance();
+    if (Peek().kind != TokenKind::kString) {
+      return Error("expected date string after DATE");
+    }
+    ASSIGN_OR_RETURN(int64_t days, ParseDate(Advance().text));
+    return Expr::MakeLiteral(Value::Date(days));
+  }
+  if (t.IsKeyword("CASE")) {
+    Advance();
+    return ParseCase();
+  }
+  if (t.IsKeyword("EXISTS")) {
+    Advance();
+    RETURN_IF_ERROR(ExpectSymbol("("));
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kExists;
+    ASSIGN_OR_RETURN(e->subquery, ParseSelectStmt());
+    RETURN_IF_ERROR(ExpectSymbol(")"));
+    return e;
+  }
+  if (MatchSymbol("(")) {
+    if (Peek().IsKeyword("SELECT")) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kScalarSubquery;
+      ASSIGN_OR_RETURN(e->subquery, ParseSelectStmt());
+      RETURN_IF_ERROR(ExpectSymbol(")"));
+      return e;
+    }
+    ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+    RETURN_IF_ERROR(ExpectSymbol(")"));
+    return inner;
+  }
+  if (t.kind == TokenKind::kIdent) {
+    if (IsReservedAliasBlocker(t)) {
+      return Error("reserved word in expression position");
+    }
+    std::string name = Advance().text;
+    if (MatchSymbol("(")) return ParseFunctionCall(name);
+    if (MatchSymbol(".")) {
+      ASSIGN_OR_RETURN(std::string member, ExpectIdent());
+      return Expr::MakeColumn(name + "." + member);
+    }
+    return Expr::MakeColumn(name);
+  }
+  return Error("expected expression");
+}
+
+// ---- DDL / DML ----
+
+Result<Statement> Parser::ParseCreateTable() {
+  RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+  RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+  auto create = std::make_unique<CreateTableStmt>();
+  ASSIGN_OR_RETURN(create->table_name, ExpectIdent());
+  RETURN_IF_ERROR(ExpectSymbol("("));
+  do {
+    Column col;
+    ASSIGN_OR_RETURN(col.name, ExpectIdent());
+    ASSIGN_OR_RETURN(std::string type_name, ExpectIdent());
+    std::string lt = Lower(type_name);
+    if (lt == "integer" || lt == "int" || lt == "bigint") {
+      col.type = Type::kInt64;
+    } else if (lt == "double" || lt == "float" || lt == "decimal" ||
+               lt == "numeric" || lt == "real") {
+      col.type = Type::kDouble;
+    } else if (lt == "varchar" || lt == "char" || lt == "text" ||
+               lt == "string") {
+      col.type = Type::kString;
+    } else if (lt == "date") {
+      col.type = Type::kDate;
+    } else if (lt == "boolean" || lt == "bool") {
+      col.type = Type::kBool;
+    } else {
+      return Error("unknown type " + type_name);
+    }
+    // Optional (n) or (p, s) size suffix.
+    if (MatchSymbol("(")) {
+      while (!MatchSymbol(")")) {
+        if (AtEnd()) return Error("unterminated type parameters");
+        Advance();
+      }
+    }
+    create->columns.push_back(std::move(col));
+  } while (MatchSymbol(","));
+  RETURN_IF_ERROR(ExpectSymbol(")"));
+
+  Statement stmt;
+  stmt.kind = Statement::Kind::kCreateTable;
+  stmt.create_table = std::move(create);
+  RETURN_IF_ERROR(ExpectEnd());
+  return stmt;
+}
+
+Result<Statement> Parser::ParseInsert() {
+  RETURN_IF_ERROR(ExpectKeyword("INSERT"));
+  RETURN_IF_ERROR(ExpectKeyword("INTO"));
+  auto insert = std::make_unique<InsertStmt>();
+  ASSIGN_OR_RETURN(insert->table_name, ExpectIdent());
+  if (MatchSymbol("(")) {
+    do {
+      ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+      insert->columns.push_back(std::move(col));
+    } while (MatchSymbol(","));
+    RETURN_IF_ERROR(ExpectSymbol(")"));
+  }
+  RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+  do {
+    RETURN_IF_ERROR(ExpectSymbol("("));
+    std::vector<ExprPtr> row;
+    do {
+      ASSIGN_OR_RETURN(ExprPtr v, ParseExpr());
+      row.push_back(std::move(v));
+    } while (MatchSymbol(","));
+    RETURN_IF_ERROR(ExpectSymbol(")"));
+    insert->values.push_back(std::move(row));
+  } while (MatchSymbol(","));
+
+  Statement stmt;
+  stmt.kind = Statement::Kind::kInsert;
+  stmt.insert = std::move(insert);
+  RETURN_IF_ERROR(ExpectEnd());
+  return stmt;
+}
+
+Result<Statement> Parser::ParseDelete() {
+  RETURN_IF_ERROR(ExpectKeyword("DELETE"));
+  RETURN_IF_ERROR(ExpectKeyword("FROM"));
+  auto del = std::make_unique<DeleteStmt>();
+  ASSIGN_OR_RETURN(del->table_name, ExpectIdent());
+  if (MatchKeyword("WHERE")) {
+    ASSIGN_OR_RETURN(del->where, ParseExpr());
+  }
+  Statement stmt;
+  stmt.kind = Statement::Kind::kDelete;
+  stmt.del = std::move(del);
+  RETURN_IF_ERROR(ExpectEnd());
+  return stmt;
+}
+
+Result<Statement> Parser::ParseUpdate() {
+  RETURN_IF_ERROR(ExpectKeyword("UPDATE"));
+  auto update = std::make_unique<UpdateStmt>();
+  ASSIGN_OR_RETURN(update->table_name, ExpectIdent());
+  RETURN_IF_ERROR(ExpectKeyword("SET"));
+  do {
+    ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+    RETURN_IF_ERROR(ExpectSymbol("="));
+    ASSIGN_OR_RETURN(ExprPtr v, ParseExpr());
+    update->assignments.emplace_back(std::move(col), std::move(v));
+  } while (MatchSymbol(","));
+  if (MatchKeyword("WHERE")) {
+    ASSIGN_OR_RETURN(update->where, ParseExpr());
+  }
+  Statement stmt;
+  stmt.kind = Statement::Kind::kUpdate;
+  stmt.update = std::move(update);
+  RETURN_IF_ERROR(ExpectEnd());
+  return stmt;
+}
+
+}  // namespace
+
+Result<Statement> Parse(std::string_view sql) {
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+Result<std::unique_ptr<SelectStmt>> ParseSelect(std::string_view sql) {
+  ASSIGN_OR_RETURN(Statement stmt, Parse(sql));
+  if (stmt.kind != Statement::Kind::kSelect) {
+    return Status::InvalidArgument("expected a SELECT statement");
+  }
+  return std::move(stmt.select);
+}
+
+Result<ExprPtr> ParseExpression(std::string_view sql) {
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  ASSIGN_OR_RETURN(ExprPtr e, parser.ParseExpr());
+  RETURN_IF_ERROR(parser.ExpectEnd());
+  return e;
+}
+
+}  // namespace ironsafe::sql

@@ -1,0 +1,28 @@
+#ifndef IRONSAFE_SQL_PARSER_H_
+#define IRONSAFE_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace ironsafe::sql {
+
+/// Parses one SQL statement (SELECT / CREATE TABLE / INSERT / DELETE /
+/// UPDATE). The dialect covers the subset needed for the TPC-H-style
+/// workloads and policy-rewritten queries: joins (comma and JOIN..ON),
+/// GROUP BY / HAVING / ORDER BY / LIMIT, scalar & IN & EXISTS subqueries
+/// (correlated allowed), CASE, LIKE, BETWEEN, IN lists, date literals,
+/// INTERVAL arithmetic, EXTRACT, and the usual aggregates.
+Result<Statement> Parse(std::string_view sql);
+
+/// Convenience: parses a statement that must be a SELECT.
+Result<std::unique_ptr<SelectStmt>> ParseSelect(std::string_view sql);
+
+/// Parses a standalone expression (used by tests and the policy layer).
+Result<ExprPtr> ParseExpression(std::string_view sql);
+
+}  // namespace ironsafe::sql
+
+#endif  // IRONSAFE_SQL_PARSER_H_

@@ -1,0 +1,84 @@
+#include "sql/schema.h"
+
+#include <sstream>
+
+namespace ironsafe::sql {
+
+namespace {
+std::string_view Unqualified(std::string_view name) {
+  size_t dot = name.rfind('.');
+  return dot == std::string_view::npos ? name : name.substr(dot + 1);
+}
+}  // namespace
+
+int Schema::Find(const std::string& name) const {
+  // Exact match first (handles qualified lookups).
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  // Suffix match for bare names.
+  if (name.find('.') == std::string::npos) {
+    int found = -1;
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (Unqualified(columns_[i].name) == name) {
+        if (found >= 0) return -2;  // ambiguous
+        found = static_cast<int>(i);
+      }
+    }
+    return found;
+  }
+  return -1;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<Column> cols = left.columns_;
+  cols.insert(cols.end(), right.columns_.begin(), right.columns_.end());
+  return Schema(std::move(cols));
+}
+
+Schema Schema::Qualified(const std::string& qualifier) const {
+  std::vector<Column> cols;
+  cols.reserve(columns_.size());
+  for (const Column& c : columns_) {
+    cols.push_back(
+        Column{qualifier + "." + std::string(Unqualified(c.name)), c.type});
+  }
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i) os << ", ";
+    os << columns_[i].name << " " << TypeName(columns_[i].type);
+  }
+  os << ")";
+  return os.str();
+}
+
+void SerializeRow(const Row& row, Bytes* out) {
+  PutU16(out, static_cast<uint16_t>(row.size()));
+  for (const Value& v : row) v.Serialize(out);
+}
+
+Result<Row> DeserializeRow(ByteReader* reader) {
+  ASSIGN_OR_RETURN(uint16_t n, reader->ReadU16());
+  Row row;
+  row.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    ASSIGN_OR_RETURN(Value v, Value::Deserialize(reader));
+    row.push_back(std::move(v));
+  }
+  return row;
+}
+
+size_t RowBytes(const Row& row) {
+  size_t total = sizeof(Row) + row.size() * sizeof(Value);
+  for (const Value& v : row) {
+    if (v.type() == Type::kString) total += v.AsString().size();
+  }
+  return total;
+}
+
+}  // namespace ironsafe::sql

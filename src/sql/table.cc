@@ -1,0 +1,220 @@
+#include "sql/table.h"
+
+namespace ironsafe::sql {
+
+// ------------------------------------------------------ MemoryTable ----
+
+namespace {
+class MemoryTableCursor : public TableCursor {
+ public:
+  explicit MemoryTableCursor(const std::vector<Row>* rows) : rows_(rows) {}
+
+  Result<bool> Next(Row* row) override {
+    if (pos_ >= rows_->size()) return false;
+    *row = (*rows_)[pos_++];
+    return true;
+  }
+
+ private:
+  const std::vector<Row>* rows_;
+  size_t pos_ = 0;
+};
+}  // namespace
+
+Status MemoryTable::Append(const Row& row, sim::CostModel* cost) {
+  (void)cost;
+  if (row.size() != schema().size()) {
+    return Status::InvalidArgument("row arity mismatch for " + name());
+  }
+  rows_.push_back(row);
+  return Status::OK();
+}
+
+std::unique_ptr<TableCursor> MemoryTable::NewCursor(
+    sim::CostModel* cost) const {
+  (void)cost;
+  return std::make_unique<MemoryTableCursor>(&rows_);
+}
+
+uint64_t MemoryTable::page_count() const {
+  size_t bytes = 0;
+  for (const Row& r : rows_) bytes += RowBytes(r);
+  return (bytes + PageStore::kPageSize - 1) / PageStore::kPageSize;
+}
+
+Status MemoryTable::Rewrite(const std::function<Result<bool>(Row*, bool*)>& fn,
+                            sim::CostModel* cost, uint64_t* affected) {
+  (void)cost;
+  std::vector<Row> kept;
+  uint64_t count = 0;
+  for (Row& row : rows_) {
+    bool modified = false;
+    ASSIGN_OR_RETURN(bool keep, fn(&row, &modified));
+    if (keep) {
+      kept.push_back(std::move(row));
+      if (modified) ++count;
+    } else {
+      ++count;
+    }
+  }
+  rows_ = std::move(kept);
+  if (affected != nullptr) *affected = count;
+  return Status::OK();
+}
+
+// ------------------------------------------------------- PagedTable ----
+
+namespace {
+constexpr size_t kPageHeader = 2;  // u16 row count
+
+Bytes BuildPage(const std::vector<Bytes>& rows) {
+  Bytes page;
+  page.reserve(PageStore::kPageSize);
+  PutU16(&page, static_cast<uint16_t>(rows.size()));
+  for (const Bytes& r : rows) Append(&page, r);
+  page.resize(PageStore::kPageSize, 0);
+  return page;
+}
+}  // namespace
+
+Status PagedTable::FlushBuffer(sim::CostModel* cost) {
+  if (buffer_.empty()) return Status::OK();
+  uint64_t id = store_->Allocate();
+  RETURN_IF_ERROR(store_->WritePage(id, BuildPage(buffer_), cost));
+  page_ids_.push_back(id);
+  buffer_.clear();
+  buffer_bytes_ = 0;
+  return Status::OK();
+}
+
+Status PagedTable::Append(const Row& row, sim::CostModel* cost) {
+  if (row.size() != schema().size()) {
+    return Status::InvalidArgument("row arity mismatch for " + name());
+  }
+  Bytes serialized;
+  SerializeRow(row, &serialized);
+  if (serialized.size() + kPageHeader > PageStore::kPageSize) {
+    return Status::InvalidArgument("row larger than a page");
+  }
+  if (kPageHeader + buffer_bytes_ + serialized.size() >
+      PageStore::kPageSize) {
+    RETURN_IF_ERROR(FlushBuffer(cost));
+  }
+  buffer_bytes_ += serialized.size();
+  buffer_.push_back(std::move(serialized));
+  ++row_count_;
+  return Status::OK();
+}
+
+namespace {
+class PagedTableCursor : public TableCursor {
+ public:
+  PagedTableCursor(PageStore* store, const std::vector<uint64_t>* pages,
+                   const std::vector<Bytes>* buffer, sim::CostModel* cost)
+      : store_(store), pages_(pages), buffer_(buffer), cost_(cost) {}
+
+  Result<bool> Next(Row* row) override {
+    while (true) {
+      if (rows_left_ > 0) {
+        ASSIGN_OR_RETURN(Row r, DeserializeRow(&*reader_));
+        *row = std::move(r);
+        --rows_left_;
+        return true;
+      }
+      if (page_index_ < pages_->size()) {
+        ASSIGN_OR_RETURN(current_page_,
+                         store_->ReadPage((*pages_)[page_index_++], cost_));
+        reader_.emplace(current_page_);
+        ASSIGN_OR_RETURN(uint16_t n, reader_->ReadU16());
+        rows_left_ = n;
+        continue;
+      }
+      // Unflushed buffered rows.
+      if (buffer_pos_ < buffer_->size()) {
+        ByteReader r((*buffer_)[buffer_pos_++]);
+        ASSIGN_OR_RETURN(Row rr, DeserializeRow(&r));
+        *row = std::move(rr);
+        return true;
+      }
+      return false;
+    }
+  }
+
+ private:
+  PageStore* store_;
+  const std::vector<uint64_t>* pages_;
+  const std::vector<Bytes>* buffer_;
+  sim::CostModel* cost_;
+  size_t page_index_ = 0;
+  Bytes current_page_;
+  std::optional<ByteReader> reader_;
+  uint16_t rows_left_ = 0;
+  size_t buffer_pos_ = 0;
+};
+}  // namespace
+
+std::unique_ptr<TableCursor> PagedTable::NewCursor(
+    sim::CostModel* cost) const {
+  return std::make_unique<PagedTableCursor>(store_, &page_ids_, &buffer_,
+                                            cost);
+}
+
+Status PagedTable::Rewrite(const std::function<Result<bool>(Row*, bool*)>& fn,
+                           sim::CostModel* cost, uint64_t* affected) {
+  // Read everything, apply, rewrite pages in place (reusing page ids).
+  std::vector<Row> kept;
+  uint64_t count = 0;
+  {
+    auto cursor = NewCursor(cost);
+    Row row;
+    while (true) {
+      ASSIGN_OR_RETURN(bool more, cursor->Next(&row));
+      if (!more) break;
+      bool modified = false;
+      ASSIGN_OR_RETURN(bool keep, fn(&row, &modified));
+      if (keep) {
+        kept.push_back(row);
+        if (modified) ++count;
+      } else {
+        ++count;
+      }
+    }
+  }
+  // Re-pack into the existing page list (allocate more if needed).
+  std::vector<uint64_t> old_pages = std::move(page_ids_);
+  page_ids_.clear();
+  buffer_.clear();
+  buffer_bytes_ = 0;
+  row_count_ = 0;
+  size_t reuse_index = 0;
+  store_->BeginBatch();
+  for (const Row& row : kept) {
+    Bytes serialized;
+    SerializeRow(row, &serialized);
+    if (kPageHeader + buffer_bytes_ + serialized.size() >
+        PageStore::kPageSize) {
+      uint64_t id = reuse_index < old_pages.size() ? old_pages[reuse_index++]
+                                                   : store_->Allocate();
+      RETURN_IF_ERROR(store_->WritePage(id, BuildPage(buffer_), cost));
+      page_ids_.push_back(id);
+      buffer_.clear();
+      buffer_bytes_ = 0;
+    }
+    buffer_bytes_ += serialized.size();
+    buffer_.push_back(std::move(serialized));
+    ++row_count_;
+  }
+  if (!buffer_.empty()) {
+    uint64_t id = reuse_index < old_pages.size() ? old_pages[reuse_index++]
+                                                 : store_->Allocate();
+    RETURN_IF_ERROR(store_->WritePage(id, BuildPage(buffer_), cost));
+    page_ids_.push_back(id);
+    buffer_.clear();
+    buffer_bytes_ = 0;
+  }
+  RETURN_IF_ERROR(store_->EndBatch());
+  if (affected != nullptr) *affected = count;
+  return Status::OK();
+}
+
+}  // namespace ironsafe::sql

@@ -1,0 +1,116 @@
+#ifndef IRONSAFE_SQL_TABLE_H_
+#define IRONSAFE_SQL_TABLE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/page_store.h"
+#include "sql/schema.h"
+
+namespace ironsafe::sql {
+
+/// Pull-based row cursor over a table.
+class TableCursor {
+ public:
+  virtual ~TableCursor() = default;
+  /// Fills `row` and returns true, or returns false at end of table.
+  virtual Result<bool> Next(Row* row) = 0;
+};
+
+/// A named relation. Implementations: MemoryTable (host intermediates)
+/// and PagedTable (on-device heap file over a PageStore).
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+  virtual ~Table() = default;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  virtual Status Append(const Row& row, sim::CostModel* cost) = 0;
+  virtual std::unique_ptr<TableCursor> NewCursor(sim::CostModel* cost) const = 0;
+  virtual uint64_t row_count() const = 0;
+  virtual uint64_t page_count() const = 0;
+
+  /// Rewrites the table in place: `fn` returns false to delete the row
+  /// and may mutate it. Returns the number of affected (deleted or kept-
+  /// modified) rows as counted by `modified`.
+  virtual Status Rewrite(
+      const std::function<Result<bool>(Row*, bool* modified)>& fn,
+      sim::CostModel* cost, uint64_t* affected) = 0;
+
+  /// Bulk-load bracket; flushes buffered pages / commits secure roots.
+  virtual void BeginBulkLoad() {}
+  virtual Status FinishBulkLoad(sim::CostModel* cost) {
+    (void)cost;
+    return Status::OK();
+  }
+
+ private:
+  std::string name_;
+  Schema schema_;
+};
+
+/// Rows in RAM; used for the host engine's shipped intermediates and for
+/// small in-memory databases.
+class MemoryTable : public Table {
+ public:
+  MemoryTable(std::string name, Schema schema)
+      : Table(std::move(name), std::move(schema)) {}
+
+  Status Append(const Row& row, sim::CostModel* cost) override;
+  std::unique_ptr<TableCursor> NewCursor(sim::CostModel* cost) const override;
+  uint64_t row_count() const override { return rows_.size(); }
+  uint64_t page_count() const override;
+  Status Rewrite(const std::function<Result<bool>(Row*, bool*)>& fn,
+                 sim::CostModel* cost, uint64_t* affected) override;
+
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+/// Heap file over 4 KiB pages: page = u16 row_count || serialized rows.
+/// Rows never span pages; a row larger than a page is rejected.
+class PagedTable : public Table {
+ public:
+  PagedTable(std::string name, Schema schema, PageStore* store)
+      : Table(std::move(name), std::move(schema)), store_(store) {}
+
+  Status Append(const Row& row, sim::CostModel* cost) override;
+  std::unique_ptr<TableCursor> NewCursor(sim::CostModel* cost) const override;
+  uint64_t row_count() const override { return row_count_; }
+  uint64_t page_count() const override {
+    return page_ids_.size() + (buffer_.empty() ? 0 : 1);
+  }
+  Status Rewrite(const std::function<Result<bool>(Row*, bool*)>& fn,
+                 sim::CostModel* cost, uint64_t* affected) override;
+
+  void BeginBulkLoad() override { store_->BeginBatch(); }
+  Status FinishBulkLoad(sim::CostModel* cost) override {
+    RETURN_IF_ERROR(FlushBuffer(cost));
+    return store_->EndBatch();
+  }
+
+  const std::vector<uint64_t>& page_ids() const { return page_ids_; }
+
+ private:
+  friend class PagedTableCursor;
+
+  Status FlushBuffer(sim::CostModel* cost);
+
+  PageStore* store_;
+  std::vector<uint64_t> page_ids_;
+  uint64_t row_count_ = 0;
+  // Rows waiting to fill the current page.
+  std::vector<Bytes> buffer_;  // serialized rows
+  size_t buffer_bytes_ = 0;
+};
+
+}  // namespace ironsafe::sql
+
+#endif  // IRONSAFE_SQL_TABLE_H_

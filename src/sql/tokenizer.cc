@@ -1,0 +1,137 @@
+#include "sql/tokenizer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace ironsafe::sql {
+
+bool Token::IsKeyword(std::string_view kw) const {
+  if (kind != TokenKind::kIdent || text.size() != kw.size()) return false;
+  for (size_t i = 0; i < kw.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(text[i])) !=
+        std::toupper(static_cast<unsigned char>(kw[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+
+  auto peek = [&](size_t k) -> char { return i + k < n ? sql[i + k] : '\0'; };
+
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comments
+    if (c == '-' && peek(1) == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      tok.kind = TokenKind::kIdent;
+      tok.text = std::string(sql.substr(start, i - start));
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.') {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        is_float = true;
+        ++i;
+        if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      std::string text(sql.substr(start, i - start));
+      if (is_float) {
+        tok.kind = TokenKind::kDouble;
+        tok.double_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        tok.kind = TokenKind::kInt;
+        tok.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      tok.text = std::move(text);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string s;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (peek(1) == '\'') {  // escaped quote
+            s.push_back('\'');
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        s.push_back(sql[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal");
+      }
+      tok.kind = TokenKind::kString;
+      tok.text = std::move(s);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Multi-char symbols first.
+    static constexpr std::string_view kTwoChar[] = {"<=", ">=", "<>", "!=",
+                                                    "||"};
+    bool matched = false;
+    for (std::string_view sym : kTwoChar) {
+      if (c == sym[0] && peek(1) == sym[1]) {
+        tok.kind = TokenKind::kSymbol;
+        tok.text = std::string(sym);
+        i += 2;
+        tokens.push_back(std::move(tok));
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    static constexpr std::string_view kOneChar = "+-*/%(),.;=<>";
+    if (kOneChar.find(c) != std::string_view::npos) {
+      tok.kind = TokenKind::kSymbol;
+      tok.text = std::string(1, c);
+      ++i;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    return Status::InvalidArgument(std::string("unexpected character '") + c +
+                                   "' at offset " + std::to_string(i));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace ironsafe::sql

@@ -1,0 +1,41 @@
+#ifndef IRONSAFE_SQL_TOKENIZER_H_
+#define IRONSAFE_SQL_TOKENIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ironsafe::sql {
+
+/// Lexical token kinds for the SQL dialect.
+enum class TokenKind {
+  kIdent,    ///< identifiers and keywords (parser decides)
+  kInt,      ///< integer literal
+  kDouble,   ///< floating literal
+  kString,   ///< 'single quoted'
+  kSymbol,   ///< operators and punctuation, e.g. "<=", "(", ","
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;        ///< raw text (identifier case preserved)
+  int64_t int_value = 0;
+  double double_value = 0;
+  size_t offset = 0;       ///< byte offset for error messages
+
+  /// Case-insensitive keyword comparison (kIdent only).
+  bool IsKeyword(std::string_view kw) const;
+  bool IsSymbol(std::string_view s) const {
+    return kind == TokenKind::kSymbol && text == s;
+  }
+};
+
+/// Tokenizes `sql`; fails on unterminated strings or stray characters.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace ironsafe::sql
+
+#endif  // IRONSAFE_SQL_TOKENIZER_H_

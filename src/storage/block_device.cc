@@ -1,0 +1,28 @@
+#include "storage/block_device.h"
+
+namespace ironsafe::storage {
+
+void BlockDevice::WriteFrame(uint64_t slot, Bytes frame) {
+  frames_[slot] = std::move(frame);
+}
+
+Result<Bytes> BlockDevice::ReadFrame(uint64_t slot,
+                                     sim::CostModel* cost) const {
+  auto it = frames_.find(slot);
+  if (it == frames_.end()) {
+    return Status::NotFound("no frame at slot " + std::to_string(slot));
+  }
+  if (cost != nullptr) cost->ChargeDiskRead(it->second.size());
+  return it->second;
+}
+
+Bytes* BlockDevice::MutableFrame(uint64_t slot) {
+  auto it = frames_.find(slot);
+  return it == frames_.end() ? nullptr : &it->second;
+}
+
+void BlockDevice::SwapFrames(uint64_t a, uint64_t b) {
+  std::swap(frames_[a], frames_[b]);
+}
+
+}  // namespace ironsafe::storage

@@ -1,0 +1,100 @@
+#include "tee/rpmb.h"
+
+#include "crypto/hmac.h"
+
+namespace ironsafe::tee {
+
+namespace {
+Bytes WriteFrame(uint32_t slot, uint32_t counter, const Bytes& data) {
+  Bytes m;
+  PutU32(&m, slot);
+  PutU32(&m, counter);
+  Append(&m, data);
+  return m;
+}
+
+Bytes ReadFrame(uint32_t slot, uint32_t counter, const Bytes& data,
+                const Bytes& nonce) {
+  Bytes m = WriteFrame(slot, counter, data);
+  Append(&m, nonce);
+  return m;
+}
+}  // namespace
+
+Status RpmbDevice::ProgramKey(const Bytes& key) {
+  if (!key_.empty()) {
+    return Status::FailedPrecondition("RPMB key already programmed");
+  }
+  if (key.empty()) return Status::InvalidArgument("empty RPMB key");
+  key_ = key;
+  return Status::OK();
+}
+
+Bytes RpmbDevice::MakeWriteMac(const Bytes& key, uint32_t slot,
+                               uint32_t counter, const Bytes& data) {
+  return crypto::HmacSha256(key, WriteFrame(slot, counter, data));
+}
+
+Bytes RpmbDevice::MakeReadMac(const Bytes& key, uint32_t slot,
+                              uint32_t counter, const Bytes& data,
+                              const Bytes& nonce) {
+  return crypto::HmacSha256(key, ReadFrame(slot, counter, data, nonce));
+}
+
+Status RpmbDevice::AuthenticatedWrite(uint32_t slot, const Bytes& data,
+                                      uint32_t counter, const Bytes& mac) {
+  if (key_.empty()) {
+    return Status::FailedPrecondition("RPMB key not programmed");
+  }
+  if (slot >= kNumSlots) return Status::InvalidArgument("RPMB slot OOB");
+  if (data.size() > kSlotSize) {
+    return Status::InvalidArgument("RPMB data exceeds slot size");
+  }
+  if (counter != write_counter_) {
+    return Status::Unauthenticated("RPMB write counter mismatch (replay?)");
+  }
+  Bytes expected = MakeWriteMac(key_, slot, counter, data);
+  if (!ConstantTimeEqual(expected, mac)) {
+    return Status::Unauthenticated("RPMB write MAC invalid");
+  }
+  slots_[slot] = data;
+  ++write_counter_;
+  return Status::OK();
+}
+
+Result<RpmbDevice::ReadResponse> RpmbDevice::Read(uint32_t slot,
+                                                  const Bytes& nonce) const {
+  if (key_.empty()) {
+    return Status::FailedPrecondition("RPMB key not programmed");
+  }
+  if (slot >= kNumSlots) return Status::InvalidArgument("RPMB slot OOB");
+  ReadResponse resp;
+  auto it = slots_.find(slot);
+  if (it != slots_.end()) resp.data = it->second;
+  resp.counter = write_counter_;
+  resp.mac = MakeReadMac(key_, slot, resp.counter, resp.data, nonce);
+  return resp;
+}
+
+Status RpmbClient::Provision() {
+  if (device_->key_programmed()) return Status::OK();
+  return device_->ProgramKey(key_);
+}
+
+Status RpmbClient::Write(uint32_t slot, const Bytes& data) {
+  uint32_t counter = device_->write_counter();
+  Bytes mac = RpmbDevice::MakeWriteMac(key_, slot, counter, data);
+  return device_->AuthenticatedWrite(slot, data, counter, mac);
+}
+
+Result<Bytes> RpmbClient::Read(uint32_t slot, const Bytes& nonce) {
+  ASSIGN_OR_RETURN(RpmbDevice::ReadResponse resp, device_->Read(slot, nonce));
+  Bytes expected =
+      RpmbDevice::MakeReadMac(key_, slot, resp.counter, resp.data, nonce);
+  if (!ConstantTimeEqual(expected, resp.mac)) {
+    return Status::Unauthenticated("RPMB read response MAC invalid");
+  }
+  return resp.data;
+}
+
+}  // namespace ironsafe::tee

@@ -1,0 +1,89 @@
+#ifndef IRONSAFE_TEE_RPMB_H_
+#define IRONSAFE_TEE_RPMB_H_
+
+#include <cstdint>
+#include <map>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace ironsafe::tee {
+
+/// Replay Protected Memory Block — the eMMC partition IronSafe's secure
+/// storage TA uses to persist the Merkle root MAC and the database
+/// encryption key across reboots (paper §4.1).
+///
+/// Contract implemented exactly as in the eMMC spec's simplified form:
+///  - A symmetric authentication key is programmed once and cannot be read.
+///  - Writes must carry an HMAC-SHA-256 over (slot || data || counter)
+///    using that key, where counter is the device's current write counter;
+///    a correct MAC proves the writer knows the key and defeats replay of
+///    old write frames.
+///  - Reads take a caller nonce; the response is MACed over
+///    (slot || data || counter || nonce) so the caller can detect a
+///    substituted or replayed response.
+class RpmbDevice {
+ public:
+  static constexpr size_t kSlotSize = 256;
+  static constexpr size_t kNumSlots = 128;
+
+  RpmbDevice() = default;
+
+  /// One-time key programming. Fails if already programmed.
+  Status ProgramKey(const Bytes& key);
+
+  bool key_programmed() const { return !key_.empty(); }
+  uint32_t write_counter() const { return write_counter_; }
+
+  /// Authenticated write. `mac` must be HMAC-SHA256(key,
+  /// slot(u32)||counter(u32)||data). On success the counter increments.
+  Status AuthenticatedWrite(uint32_t slot, const Bytes& data, uint32_t counter,
+                            const Bytes& mac);
+
+  struct ReadResponse {
+    Bytes data;
+    uint32_t counter = 0;
+    Bytes mac;  ///< HMAC-SHA256(key, slot||counter||data||nonce)
+  };
+
+  /// Authenticated read. Never fails authentication on the device side —
+  /// the *caller* verifies the response MAC (see MakeReadMac).
+  Result<ReadResponse> Read(uint32_t slot, const Bytes& nonce) const;
+
+  /// Helpers for clients holding the key.
+  static Bytes MakeWriteMac(const Bytes& key, uint32_t slot, uint32_t counter,
+                            const Bytes& data);
+  static Bytes MakeReadMac(const Bytes& key, uint32_t slot, uint32_t counter,
+                           const Bytes& data, const Bytes& nonce);
+
+ private:
+  Bytes key_;
+  uint32_t write_counter_ = 0;
+  std::map<uint32_t, Bytes> slots_;
+};
+
+/// Convenience client wrapper that owns the key and talks the RPMB frame
+/// protocol, verifying read responses. This is what the secure storage TA
+/// uses internally.
+class RpmbClient {
+ public:
+  RpmbClient(RpmbDevice* device, Bytes key)
+      : device_(device), key_(std::move(key)) {}
+
+  /// Programs the key if the device is fresh. Idempotent per device.
+  Status Provision();
+
+  Status Write(uint32_t slot, const Bytes& data);
+
+  /// Reads and authenticates; fails with Unauthenticated if the device
+  /// response MAC is wrong (e.g. a swapped device).
+  Result<Bytes> Read(uint32_t slot, const Bytes& nonce);
+
+ private:
+  RpmbDevice* device_;
+  Bytes key_;
+};
+
+}  // namespace ironsafe::tee
+
+#endif  // IRONSAFE_TEE_RPMB_H_

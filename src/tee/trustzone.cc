@@ -1,0 +1,155 @@
+#include "tee/trustzone.h"
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace ironsafe::tee {
+
+Bytes BootStageRecord::Serialize() const {
+  Bytes out;
+  PutLengthPrefixed(&out, stage);
+  PutLengthPrefixed(&out, measurement);
+  PutLengthPrefixed(&out, signature);
+  return out;
+}
+
+Bytes StorageNodeConfig::Serialize() const {
+  Bytes out;
+  PutLengthPrefixed(&out, node_id);
+  PutLengthPrefixed(&out, location);
+  PutU32(&out, firmware_version);
+  return out;
+}
+
+DeviceManufacturer::DeviceManufacturer(const Bytes& seed) {
+  Bytes key_seed = crypto::HkdfSha256({}, seed, ToBytes("rotpk"), 32);
+  root_key_ = *crypto::Ed25519KeyPairFromSeed(key_seed);
+}
+
+Bytes DeviceManufacturer::CertificateSigningInput(
+    const std::string& node_id, const Bytes& device_public_key) {
+  Bytes m;
+  PutLengthPrefixed(&m, node_id);
+  PutLengthPrefixed(&m, device_public_key);
+  return m;
+}
+
+Bytes DeviceManufacturer::CertifyDevice(const std::string& node_id,
+                                        const Bytes& device_public_key) const {
+  return *crypto::Ed25519Sign(
+      root_key_.private_key,
+      CertificateSigningInput(node_id, device_public_key));
+}
+
+TrustZoneDevice::TrustZoneDevice(const Bytes& seed,
+                                 const DeviceManufacturer& manufacturer,
+                                 StorageNodeConfig config)
+    : config_(std::move(config)) {
+  huk_ = crypto::HkdfSha256({}, seed, ToBytes("hardware-unique-key"), 32);
+  Bytes att_seed = crypto::HkdfSha256({}, huk_, ToBytes("attestation"), 32);
+  attestation_key_ = *crypto::Ed25519KeyPairFromSeed(att_seed);
+  device_certificate_ =
+      manufacturer.CertifyDevice(config_.node_id, attestation_key_.public_key);
+}
+
+void TrustZoneDevice::Boot(
+    const std::vector<std::pair<std::string, Bytes>>& images) {
+  chain_.clear();
+  Bytes prev;  // ROM stage has no predecessor
+  for (const auto& [stage, image] : images) {
+    BootStageRecord rec;
+    rec.stage = stage;
+    rec.measurement = crypto::Sha256::Hash(image);
+    Bytes input;
+    PutLengthPrefixed(&input, rec.stage);
+    PutLengthPrefixed(&input, rec.measurement);
+    PutLengthPrefixed(&input, prev);
+    rec.signature =
+        *crypto::Ed25519Sign(attestation_key_.private_key, input);
+    prev = rec.measurement;
+    chain_.push_back(std::move(rec));
+  }
+  normal_world_hash_ = chain_.empty() ? Bytes{} : chain_.back().measurement;
+  booted_ = true;
+}
+
+Bytes TrustZoneDevice::ChallengeSigningInput(const Bytes& challenge,
+                                             const Bytes& normal_world_hash,
+                                             const StorageNodeConfig& config) {
+  Bytes m;
+  PutLengthPrefixed(&m, challenge);
+  PutLengthPrefixed(&m, normal_world_hash);
+  Bytes cfg = config.Serialize();
+  PutLengthPrefixed(&m, cfg);
+  return m;
+}
+
+Result<TzAttestationResponse> TrustZoneDevice::RespondToChallenge(
+    const Bytes& challenge) const {
+  if (!booted_) {
+    return Status::FailedPrecondition("device has not completed trusted boot");
+  }
+  TzAttestationResponse resp;
+  resp.normal_world_hash = normal_world_hash_;
+  resp.cert_chain = chain_;
+  resp.config = config_;
+  resp.device_public_key = attestation_key_.public_key;
+  resp.device_certificate = device_certificate_;
+  resp.challenge_signature = *crypto::Ed25519Sign(
+      attestation_key_.private_key,
+      ChallengeSigningInput(challenge, normal_world_hash_, config_));
+  return resp;
+}
+
+Bytes TrustZoneDevice::DeriveHardwareKey(std::string_view label,
+                                         size_t length) const {
+  return crypto::HkdfSha256({}, huk_, ToBytes(label), length);
+}
+
+Status VerifyTzAttestation(const Bytes& manufacturer_root_key,
+                           const std::string& expected_node_id,
+                           const Bytes& challenge,
+                           const TzAttestationResponse& response) {
+  if (response.config.node_id != expected_node_id) {
+    return Status::Unauthenticated("attestation response from wrong node");
+  }
+  // 1. The device key must be certified by the manufacturer (ROTPK chain).
+  if (!crypto::Ed25519Verify(
+          manufacturer_root_key,
+          DeviceManufacturer::CertificateSigningInput(
+              response.config.node_id, response.device_public_key),
+          response.device_certificate)) {
+    return Status::Unauthenticated("device certificate invalid");
+  }
+  // 2. The challenge signature proves liveness and binds the measured
+  //    normal world and deployment config to this exchange.
+  if (!crypto::Ed25519Verify(
+          response.device_public_key,
+          TrustZoneDevice::ChallengeSigningInput(
+              challenge, response.normal_world_hash, response.config),
+          response.challenge_signature)) {
+    return Status::Unauthenticated("challenge response signature invalid");
+  }
+  // 3. The secure-boot chain must be internally consistent and signed.
+  Bytes prev;
+  for (const auto& rec : response.cert_chain) {
+    Bytes input;
+    PutLengthPrefixed(&input, rec.stage);
+    PutLengthPrefixed(&input, rec.measurement);
+    PutLengthPrefixed(&input, prev);
+    if (!crypto::Ed25519Verify(response.device_public_key, input,
+                               rec.signature)) {
+      return Status::Unauthenticated("boot certificate chain broken at " +
+                                     rec.stage);
+    }
+    prev = rec.measurement;
+  }
+  if (!response.cert_chain.empty() &&
+      response.cert_chain.back().measurement != response.normal_world_hash) {
+    return Status::Unauthenticated(
+        "normal world hash does not match boot chain");
+  }
+  return Status::OK();
+}
+
+}  // namespace ironsafe::tee

@@ -1,0 +1,124 @@
+#ifndef IRONSAFE_TEE_TRUSTZONE_H_
+#define IRONSAFE_TEE_TRUSTZONE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/ed25519.h"
+#include "tee/rpmb.h"
+
+namespace ironsafe::tee {
+
+/// One link of the secure-boot certificate chain: a boot stage's image
+/// measurement signed by the device attestation key (rooted in the ROTPK
+/// via the manufacturer certificate).
+struct BootStageRecord {
+  std::string stage;   ///< "BL2", "TrustedOS(OP-TEE)", "NormalWorld", ...
+  Bytes measurement;   ///< SHA-256 of the stage image
+  Bytes signature;     ///< over (stage || measurement || prev_measurement)
+
+  Bytes Serialize() const;
+};
+
+/// Deployment configuration carried in the attestation response and used
+/// by the policy predicates storageLocIs / fwVersionStorage.
+struct StorageNodeConfig {
+  std::string node_id;
+  std::string location;        ///< e.g. "eu-west-1"
+  uint32_t firmware_version = 0;
+
+  Bytes Serialize() const;
+};
+
+/// The response the attestation TA produces to a monitor challenge
+/// (paper Figure 4.b steps 2–4).
+struct TzAttestationResponse {
+  Bytes challenge_signature;   ///< over (challenge || nw_hash || config)
+  Bytes normal_world_hash;     ///< measurement of the REE software stack
+  std::vector<BootStageRecord> cert_chain;
+  StorageNodeConfig config;
+  Bytes device_public_key;     ///< attestation pubkey (cert. by manufacturer)
+  Bytes device_certificate;    ///< manufacturer signature over pubkey+node_id
+};
+
+/// Manufacturer root of trust: owns the ROTPK pair and certifies the
+/// per-device attestation keys it provisions.
+class DeviceManufacturer {
+ public:
+  explicit DeviceManufacturer(const Bytes& seed);
+
+  const Bytes& root_public_key() const { return root_key_.public_key; }
+
+  /// Issues a certificate binding (node_id, device attestation pubkey).
+  Bytes CertifyDevice(const std::string& node_id,
+                      const Bytes& device_public_key) const;
+
+  static Bytes CertificateSigningInput(const std::string& node_id,
+                                       const Bytes& device_public_key);
+
+ private:
+  crypto::Ed25519KeyPair root_key_;
+};
+
+/// A TrustZone-capable ARM storage platform: secure world (trusted OS +
+/// TAs), measured normal world, hardware unique key, and an on-board RPMB.
+class TrustZoneDevice {
+ public:
+  /// `seed` determines the hardware unique key; the manufacturer
+  /// provisions and certifies the attestation key.
+  TrustZoneDevice(const Bytes& seed, const DeviceManufacturer& manufacturer,
+                  StorageNodeConfig config);
+
+  /// Simulates trusted boot: measures each firmware image in order
+  /// (BL2, trusted OS, normal world) and records the signed chain. The
+  /// last image is the normal world stack containing the storage engine.
+  /// Always "boots"; it is the *verifier* (trusted monitor) that decides
+  /// whether the measured chain is trustworthy.
+  void Boot(const std::vector<std::pair<std::string, Bytes>>& images);
+
+  bool booted() const { return booted_; }
+  const Bytes& normal_world_hash() const { return normal_world_hash_; }
+  const std::vector<BootStageRecord>& cert_chain() const { return chain_; }
+  const StorageNodeConfig& config() const { return config_; }
+
+  /// Attestation TA entry point: answers a monitor challenge.
+  Result<TzAttestationResponse> RespondToChallenge(const Bytes& challenge) const;
+
+  /// Derives a device-bound key from the hardware unique key (used by the
+  /// secure storage TA, e.g. the 128-bit TA storage key of §5).
+  Bytes DeriveHardwareKey(std::string_view label, size_t length) const;
+
+  /// The on-device RPMB partition.
+  RpmbDevice* rpmb() { return &rpmb_; }
+
+  static Bytes ChallengeSigningInput(const Bytes& challenge,
+                                     const Bytes& normal_world_hash,
+                                     const StorageNodeConfig& config);
+
+ private:
+  Bytes huk_;  ///< hardware unique key
+  crypto::Ed25519KeyPair attestation_key_;
+  Bytes device_certificate_;
+  StorageNodeConfig config_;
+  RpmbDevice rpmb_;
+
+  bool booted_ = false;
+  std::vector<BootStageRecord> chain_;
+  Bytes normal_world_hash_;
+};
+
+/// Verifier-side helper: checks a TzAttestationResponse against the
+/// manufacturer root key and the original challenge. On success the caller
+/// can trust `normal_world_hash` and `config`. Used by the trusted monitor.
+Status VerifyTzAttestation(const Bytes& manufacturer_root_key,
+                           const std::string& expected_node_id,
+                           const Bytes& challenge,
+                           const TzAttestationResponse& response);
+
+}  // namespace ironsafe::tee
+
+#endif  // IRONSAFE_TEE_TRUSTZONE_H_

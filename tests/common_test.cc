@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ironsafe {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::Corruption("page 7 MAC mismatch");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_EQ(s.ToString(), "Corruption: page 7 MAC mismatch");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_NE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto inner = []() { return Status::NotFound("x"); };
+  auto outer = [&]() -> Status {
+    RETURN_IF_ERROR(inner());
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().IsNotFound());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("bad");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(ResultTest, AssignOrReturnUnwraps) {
+  auto make = [](bool ok) -> Result<std::string> {
+    if (ok) return std::string("hello");
+    return Status::NotFound("no");
+  };
+  auto chain = [&](bool ok) -> Result<size_t> {
+    ASSIGN_OR_RETURN(std::string s, make(ok));
+    return s.size();
+  };
+  EXPECT_EQ(*chain(true), 5u);
+  EXPECT_TRUE(chain(false).status().IsNotFound());
+}
+
+TEST(BytesTest, HexRoundTrip) {
+  Bytes b = {0xde, 0xad, 0xbe, 0xef, 0x00, 0x7f};
+  EXPECT_EQ(HexEncode(b), "deadbeef007f");
+  auto decoded = HexDecode("deadbeef007f");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, b);
+}
+
+TEST(BytesTest, HexDecodeUppercase) {
+  auto decoded = HexDecode("DEADBEEF");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(HexEncode(*decoded), "deadbeef");
+}
+
+TEST(BytesTest, HexDecodeRejectsOddLength) {
+  EXPECT_FALSE(HexDecode("abc").ok());
+}
+
+TEST(BytesTest, HexDecodeRejectsNonHex) {
+  EXPECT_FALSE(HexDecode("zz").ok());
+}
+
+TEST(BytesTest, ConstantTimeEqual) {
+  Bytes a = {1, 2, 3};
+  Bytes b = {1, 2, 3};
+  Bytes c = {1, 2, 4};
+  Bytes d = {1, 2};
+  EXPECT_TRUE(ConstantTimeEqual(a, b));
+  EXPECT_FALSE(ConstantTimeEqual(a, c));
+  EXPECT_FALSE(ConstantTimeEqual(a, d));
+}
+
+TEST(BytesTest, IntegerCodecRoundTrip) {
+  Bytes out;
+  PutU16(&out, 0x1234);
+  PutU32(&out, 0xdeadbeef);
+  PutU64(&out, 0x0123456789abcdefULL);
+  ByteReader r(out);
+  EXPECT_EQ(*r.ReadU16(), 0x1234);
+  EXPECT_EQ(*r.ReadU32(), 0xdeadbeefu);
+  EXPECT_EQ(*r.ReadU64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, ReaderDetectsTruncation) {
+  Bytes out;
+  PutU16(&out, 7);
+  ByteReader r(out);
+  EXPECT_TRUE(r.ReadU32().status().IsInvalidArgument());
+}
+
+TEST(BytesTest, LengthPrefixedRoundTrip) {
+  Bytes out;
+  PutLengthPrefixed(out.empty() ? &out : &out, std::string_view("hello"));
+  PutLengthPrefixed(&out, Bytes{9, 8, 7});
+  ByteReader r(out);
+  EXPECT_EQ(*r.ReadLengthPrefixedString(), "hello");
+  EXPECT_EQ(*r.ReadLengthPrefixed(), (Bytes{9, 8, 7}));
+}
+
+TEST(BytesTest, LengthPrefixedTruncatedBody) {
+  Bytes out;
+  PutU32(&out, 100);  // claims 100 bytes, provides none
+  ByteReader r(out);
+  EXPECT_FALSE(r.ReadLengthPrefixed().ok());
+}
+
+TEST(RandomTest, DeterministicFromSeed) {
+  Random a(7), b(7), c(8);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random r(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RandomTest, DoubleInUnitInterval) {
+  Random r(2);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random r(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.Bernoulli(0.0));
+    EXPECT_TRUE(r.Bernoulli(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace ironsafe

@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include "monitor/audit_log.h"
+#include "monitor/monitor.h"
+
+namespace ironsafe::monitor {
+namespace {
+
+crypto::Ed25519KeyPair Signer() {
+  return *crypto::Ed25519KeyPairFromSeed(Bytes(32, 0x42));
+}
+
+// ---------------- audit log ----------------
+
+TEST(AuditLogTest, AppendAndVerify) {
+  AuditLog log(Signer());
+  ASSERT_TRUE(log.Append("l", "Ka", "SELECT 1", 100).ok());
+  ASSERT_TRUE(log.Append("l", "Kb", "SELECT 2", 101).ok());
+  EXPECT_TRUE(AuditLog::Verify(log.entries(), log.head_signature(),
+                               log.public_key())
+                  .ok());
+}
+
+TEST(AuditLogTest, EmptyLogVerifies) {
+  AuditLog log(Signer());
+  EXPECT_TRUE(AuditLog::Verify(log.entries(), {}, log.public_key()).ok());
+}
+
+TEST(AuditLogTest, EditedEntryDetected) {
+  AuditLog log(Signer());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(log.Append("l", "K", "q" + std::to_string(i), i).ok());
+  }
+  (*log.mutable_entries())[2].query = "REWRITTEN";
+  EXPECT_TRUE(AuditLog::Verify(log.entries(), log.head_signature(),
+                               log.public_key())
+                  .IsCorruption());
+}
+
+TEST(AuditLogTest, DeletedEntryDetected) {
+  AuditLog log(Signer());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(log.Append("l", "K", "q", i).ok());
+  }
+  log.mutable_entries()->erase(log.mutable_entries()->begin() + 1);
+  EXPECT_TRUE(AuditLog::Verify(log.entries(), log.head_signature(),
+                               log.public_key())
+                  .IsCorruption());
+}
+
+TEST(AuditLogTest, TruncationDetected) {
+  AuditLog log(Signer());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(log.Append("l", "K", "q", i).ok());
+  }
+  // Chop off the last two entries; the chain itself stays consistent but
+  // the head signature no longer matches.
+  log.mutable_entries()->resize(3);
+  EXPECT_TRUE(AuditLog::Verify(log.entries(), log.head_signature(),
+                               log.public_key())
+                  .IsCorruption());
+}
+
+TEST(AuditLogTest, ReorderDetected) {
+  AuditLog log(Signer());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(log.Append("l", "K", "q" + std::to_string(i), i).ok());
+  }
+  std::swap((*log.mutable_entries())[1], (*log.mutable_entries())[2]);
+  EXPECT_TRUE(AuditLog::Verify(log.entries(), log.head_signature(),
+                               log.public_key())
+                  .IsCorruption());
+}
+
+// ---------------- monitor ----------------
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  MonitorTest()
+      : machine_(ToBytes("host")),
+        manufacturer_(ToBytes("mfg")),
+        device_(ToBytes("dev"), manufacturer_,
+                tee::StorageNodeConfig{"storage-1", "eu-west-1", 3}) {
+    monitor_enclave_ = machine_.LoadEnclave("monitor", ToBytes("monitor v1"));
+    host_enclave_ = machine_.LoadEnclave("host", ToBytes("host engine v1"));
+    ias_.RegisterPlatform(machine_.platform_id(),
+                          machine_.attestation_public_key());
+    monitor_ = std::make_unique<TrustedMonitor>(
+        monitor_enclave_.get(), &ias_, manufacturer_.root_public_key());
+    device_.Boot({{"BL2", ToBytes("bl2")},
+                  {"TrustedOS", ToBytes("optee")},
+                  {"NormalWorld", ToBytes("good normal world")}});
+  }
+
+  void AttestBoth() {
+    monitor_->TrustHostMeasurement(host_enclave_->measurement());
+    monitor_->TrustStorageMeasurement(device_.normal_world_hash());
+    monitor_->set_latest_firmware(3, 3);
+    auto cert = monitor_->AttestHost(host_enclave_->GetQuote(Bytes(64, 1)),
+                                     "eu-west-1", 3);
+    ASSERT_TRUE(cert.ok()) << cert.status().ToString();
+    Bytes challenge = monitor_->IssueStorageChallenge();
+    auto resp = device_.RespondToChallenge(challenge);
+    ASSERT_TRUE(resp.ok());
+    auto st = monitor_->AttestStorage("storage-1", challenge, *resp);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+
+  tee::SgxMachine machine_;
+  tee::DeviceManufacturer manufacturer_;
+  tee::TrustZoneDevice device_;
+  tee::SgxAttestationService ias_;
+  std::unique_ptr<tee::SgxEnclave> monitor_enclave_;
+  std::unique_ptr<tee::SgxEnclave> host_enclave_;
+  std::unique_ptr<TrustedMonitor> monitor_;
+};
+
+TEST_F(MonitorTest, HostAttestationRejectsUnknownMeasurement) {
+  monitor_->set_latest_firmware(3, 3);
+  // No measurements trusted yet.
+  auto cert = monitor_->AttestHost(host_enclave_->GetQuote(Bytes(64, 1)),
+                                   "eu-west-1", 3);
+  EXPECT_TRUE(cert.status().IsUnauthenticated());
+  EXPECT_FALSE(monitor_->host_attested());
+}
+
+TEST_F(MonitorTest, StorageAttestationRejectsTamperedImage) {
+  monitor_->TrustHostMeasurement(host_enclave_->measurement());
+  monitor_->TrustStorageMeasurement(device_.normal_world_hash());
+  // Reboot with a trojaned normal world.
+  device_.Boot({{"BL2", ToBytes("bl2")},
+                {"TrustedOS", ToBytes("optee")},
+                {"NormalWorld", ToBytes("TROJANED normal world")}});
+  Bytes challenge = monitor_->IssueStorageChallenge();
+  auto resp = device_.RespondToChallenge(challenge);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_TRUE(monitor_->AttestStorage("storage-1", challenge, *resp)
+                  .IsUnauthenticated());
+  EXPECT_FALSE(monitor_->storage_attested());
+}
+
+TEST_F(MonitorTest, SuccessfulAttestationPopulatesFacts) {
+  AttestBoth();
+  EXPECT_TRUE(monitor_->host_attested());
+  EXPECT_TRUE(monitor_->storage_attested());
+  EXPECT_EQ(monitor_->node_facts().storage_location, "eu-west-1");
+  EXPECT_EQ(monitor_->node_facts().storage_fw, 3u);
+}
+
+TEST_F(MonitorTest, AttestationChargesPaperLatencies) {
+  monitor_->TrustHostMeasurement(host_enclave_->measurement());
+  monitor_->TrustStorageMeasurement(device_.normal_world_hash());
+  sim::CostModel host_cost, storage_cost;
+  ASSERT_TRUE(monitor_
+                  ->AttestHost(host_enclave_->GetQuote(Bytes(64, 1)),
+                               "eu-west-1", 3, &host_cost)
+                  .ok());
+  EXPECT_EQ(host_cost.fixed_ns(), AttestationLatency::kHostCasNanos);
+
+  Bytes challenge = monitor_->IssueStorageChallenge();
+  auto resp = device_.RespondToChallenge(challenge);
+  ASSERT_TRUE(monitor_->AttestStorage("storage-1", challenge, *resp,
+                                      &storage_cost)
+                  .ok());
+  EXPECT_EQ(storage_cost.fixed_ns(),
+            AttestationLatency::kStorageTeeNanos +
+                AttestationLatency::kStorageReeNanos +
+                AttestationLatency::kInterconnectNanos);
+}
+
+TEST_F(MonitorTest, AuthorizeUnknownClientFails) {
+  AttestBoth();
+  auto auth = monitor_->AuthorizeStatement("Kx", "SELECT 1", "");
+  EXPECT_TRUE(auth.status().IsUnauthenticated());
+}
+
+TEST_F(MonitorTest, AccessPolicyEnforcedAndRewritten) {
+  AttestBoth();
+  monitor_->RegisterClient("Ka");
+  monitor_->RegisterClient("Kb");
+  monitor_->set_access_time(10000);
+
+  TablePolicy tp;
+  tp.access = *policy::ParsePolicy(
+      "read ::= sessionKeyIs(Ka) | sessionKeyIs(Kb) & le(T, TIMESTAMP)\n"
+      "write ::= sessionKeyIs(Ka)\n");
+  tp.with_expiry = true;
+  ASSERT_TRUE(monitor_->RegisterTablePolicy("records", std::move(tp)).ok());
+
+  // Producer Ka reads without a filter.
+  auto a = monitor_->AuthorizeStatement("Ka", "SELECT * FROM records", "");
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_EQ(a->rewritten.select->ToString().find("_expiry"),
+            std::string::npos);
+
+  // Consumer Kb gets the expiry filter injected.
+  auto b = monitor_->AuthorizeStatement("Kb", "SELECT * FROM records", "");
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(b->rewritten.select->ToString().find("_expiry"),
+            std::string::npos);
+
+  // Kb cannot write.
+  auto w = monitor_->AuthorizeStatement(
+      "Kb", "INSERT INTO records (a) VALUES (1)", "");
+  EXPECT_TRUE(w.status().IsPermissionDenied());
+}
+
+TEST_F(MonitorTest, DenialsAreAuditLogged) {
+  AttestBoth();
+  monitor_->RegisterClient("Kb");
+  TablePolicy tp;
+  tp.access = *policy::ParsePolicy("read ::= sessionKeyIs(Ka)");
+  ASSERT_TRUE(monitor_->RegisterTablePolicy("records", std::move(tp)).ok());
+
+  size_t before = monitor_->audit_log()->entries().size();
+  auto denied = monitor_->AuthorizeStatement("Kb", "SELECT * FROM records", "");
+  EXPECT_TRUE(denied.status().IsPermissionDenied());
+  EXPECT_EQ(monitor_->audit_log()->entries().size(), before + 1);
+  EXPECT_EQ(monitor_->audit_log()->entries().back().log_name, "denials");
+}
+
+TEST_F(MonitorTest, LogUpdateObligationRecordsQuery) {
+  AttestBoth();
+  monitor_->RegisterClient("Kb");
+  TablePolicy tp;
+  tp.access = *policy::ParsePolicy(
+      "read ::= sessionKeyIs(Kb) & logUpdate(shares, K, Q)");
+  ASSERT_TRUE(monitor_->RegisterTablePolicy("records", std::move(tp)).ok());
+
+  auto auth =
+      monitor_->AuthorizeStatement("Kb", "SELECT a FROM records", "");
+  ASSERT_TRUE(auth.ok()) << auth.status().ToString();
+  const auto& entries = monitor_->audit_log()->entries();
+  ASSERT_FALSE(entries.empty());
+  EXPECT_EQ(entries.back().log_name, "shares");
+  EXPECT_EQ(entries.back().client_key_id, "Kb");
+  EXPECT_NE(entries.back().query.find("records"), std::string::npos);
+}
+
+TEST_F(MonitorTest, ExecPolicyFallbackDisablesOffload) {
+  AttestBoth();
+  monitor_->RegisterClient("Ka");
+  auto auth = monitor_->AuthorizeStatement(
+      "Ka", "SELECT 1", "exec ::= storageLocIs(mars-central-1)");
+  ASSERT_TRUE(auth.ok()) << auth.status().ToString();
+  EXPECT_FALSE(auth->storage_eligible);
+}
+
+TEST_F(MonitorTest, ExecPolicyHostBlockerDenies) {
+  AttestBoth();
+  monitor_->RegisterClient("Ka");
+  auto auth = monitor_->AuthorizeStatement(
+      "Ka", "SELECT 1", "exec ::= hostLocIs(mars-central-1)");
+  EXPECT_TRUE(auth.status().IsPermissionDenied());
+}
+
+TEST_F(MonitorTest, SessionLifecycle) {
+  AttestBoth();
+  monitor_->RegisterClient("Ka");
+  auto auth = monitor_->AuthorizeStatement("Ka", "SELECT 1", "");
+  ASSERT_TRUE(auth.ok());
+  EXPECT_TRUE(monitor_->SessionActive(auth->session_key));
+  monitor_->EndSession(auth->session_key);
+  EXPECT_FALSE(monitor_->SessionActive(auth->session_key));
+}
+
+TEST_F(MonitorTest, ComplianceProofVerifies) {
+  AttestBoth();
+  auto proof = monitor_->IssueProof("SELECT 1", "exec ::= hostLocIs(eu-west-1)",
+                                    true);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_TRUE(TrustedMonitor::VerifyProof(*proof, monitor_->public_key()));
+
+  ComplianceProof forged = *proof;
+  forged.query = "SELECT * FROM secrets";
+  EXPECT_FALSE(TrustedMonitor::VerifyProof(forged, monitor_->public_key()));
+
+  ComplianceProof flipped = *proof;
+  flipped.offloaded = !flipped.offloaded;
+  EXPECT_FALSE(TrustedMonitor::VerifyProof(flipped, monitor_->public_key()));
+}
+
+}  // namespace
+}  // namespace ironsafe::monitor

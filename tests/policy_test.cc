@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include "policy/interpreter.h"
+#include "policy/policy.h"
+#include "policy/rewriter.h"
+#include "sql/parser.h"
+
+namespace ironsafe::policy {
+namespace {
+
+// ---------------- parsing ----------------
+
+TEST(PolicyParseTest, SimpleRules) {
+  auto p = ParsePolicy(
+      "read ::= sessionKeyIs(Ka)\n"
+      "write ::= sessionKeyIs(Kb)\n"
+      "exec ::= fwVersionStorage(latest) & fwVersionHost(latest)\n");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->rules.size(), 3u);
+  EXPECT_NE(p->Find(Perm::kRead), nullptr);
+  EXPECT_NE(p->Find(Perm::kWrite), nullptr);
+  EXPECT_NE(p->Find(Perm::kExec), nullptr);
+}
+
+TEST(PolicyParseTest, PaperAntiPattern1Syntax) {
+  // The paper writes `read:--` in the anti-pattern examples.
+  auto p = ParsePolicy(
+      "read :-- sessionKeyIs(Ka) | sessionKeyIs(Kb) & le(T, TIMESTAMP)");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  const PolicyExpr* e = p->Find(Perm::kRead);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind, PolicyExpr::Kind::kOr);
+}
+
+TEST(PolicyParseTest, PrecedenceAndBindsTighterThanOr) {
+  auto p = ParsePolicy("read ::= sessionKeyIs(A) | sessionKeyIs(B) & le(T, TIMESTAMP)");
+  ASSERT_TRUE(p.ok());
+  const PolicyExpr* e = p->Find(Perm::kRead);
+  ASSERT_EQ(e->kind, PolicyExpr::Kind::kOr);
+  EXPECT_EQ(e->right->kind, PolicyExpr::Kind::kAnd);
+}
+
+TEST(PolicyParseTest, Parentheses) {
+  auto p = ParsePolicy("read ::= (sessionKeyIs(A) | sessionKeyIs(B)) & reuseMap(m)");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->Find(Perm::kRead)->kind, PolicyExpr::Kind::kAnd);
+}
+
+TEST(PolicyParseTest, CommentsAndWhitespace) {
+  auto p = ParsePolicy(
+      "# access policy for customer table\n"
+      "read ::= sessionKeyIs(Ka)  # producer\n");
+  ASSERT_TRUE(p.ok());
+}
+
+TEST(PolicyParseTest, Errors) {
+  EXPECT_FALSE(ParsePolicy("").ok());
+  EXPECT_FALSE(ParsePolicy("grant ::= sessionKeyIs(A)").ok());
+  EXPECT_FALSE(ParsePolicy("read ::= unknownPred(A)").ok());
+  EXPECT_FALSE(ParsePolicy("read sessionKeyIs(A)").ok());
+  EXPECT_FALSE(ParsePolicy("read ::= sessionKeyIs(A").ok());
+}
+
+TEST(PolicyParseTest, ToStringRoundTrips) {
+  auto p = ParsePolicy(
+      "read ::= sessionKeyIs(Ka) | sessionKeyIs(Kb) & le(T, TIMESTAMP)\n"
+      "exec ::= storageLocIs(eu-west-1)\n");
+  ASSERT_TRUE(p.ok());
+  auto p2 = ParsePolicy(p->ToString());
+  ASSERT_TRUE(p2.ok()) << p->ToString();
+  EXPECT_EQ(p2->ToString(), p->ToString());
+}
+
+// ---------------- interpretation ----------------
+
+class InterpreterTest : public ::testing::Test {
+ protected:
+  InterpreterTest() {
+    nodes_.host_attested = true;
+    nodes_.storage_attested = true;
+    nodes_.host_location = "eu-west-1";
+    nodes_.storage_location = "eu-west-1";
+    nodes_.host_fw = 3;
+    nodes_.storage_fw = 3;
+    nodes_.latest_host_fw = 3;
+    nodes_.latest_storage_fw = 3;
+    request_.session_key_id = "Ka";
+    request_.access_time = 10000;
+    request_.reuse_bit = 2;
+  }
+
+  const PolicyExpr* Rule(const std::string& text) {
+    auto p = ParsePolicy(text);
+    EXPECT_TRUE(p.ok()) << p.status().ToString();
+    set_ = std::move(*p);
+    return set_.rules[0].expr.get();
+  }
+
+  NodeFacts nodes_;
+  RequestFacts request_;
+  PolicySet set_;
+};
+
+TEST_F(InterpreterTest, SessionKeyMatch) {
+  auto d = EvaluateAccess(*Rule("read ::= sessionKeyIs(Ka)"), nodes_, request_);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->allowed);
+  EXPECT_EQ(d->row_filter, nullptr);
+}
+
+TEST_F(InterpreterTest, SessionKeyMismatchDenied) {
+  auto d = EvaluateAccess(*Rule("read ::= sessionKeyIs(Kb)"), nodes_, request_);
+  ASSERT_TRUE(d.ok());
+  EXPECT_FALSE(d->allowed);
+  EXPECT_FALSE(d->denial_reason.empty());
+}
+
+TEST_F(InterpreterTest, OrOfKeys) {
+  auto d = EvaluateAccess(*Rule("read ::= sessionKeyIs(Kb) | sessionKeyIs(Ka)"),
+                          nodes_, request_);
+  EXPECT_TRUE(d->allowed);
+}
+
+TEST_F(InterpreterTest, ExpiryProducesRowFilter) {
+  auto d = EvaluateAccess(*Rule("read ::= sessionKeyIs(Ka) & le(T, TIMESTAMP)"),
+                          nodes_, request_);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->allowed);
+  ASSERT_NE(d->row_filter, nullptr);
+  std::string f = d->row_filter->ToString();
+  EXPECT_NE(f.find("_expiry"), std::string::npos);
+}
+
+TEST_F(InterpreterTest, AntiPattern1FullAccessKeySkipsFilter) {
+  // Ka gets unconditional access; Kb is expiry-gated.
+  const PolicyExpr* rule = Rule(
+      "read ::= sessionKeyIs(Ka) | sessionKeyIs(Kb) & le(T, TIMESTAMP)");
+  auto da = EvaluateAccess(*rule, nodes_, request_);
+  EXPECT_TRUE(da->allowed);
+  EXPECT_EQ(da->row_filter, nullptr);
+
+  request_.session_key_id = "Kb";
+  auto db = EvaluateAccess(*rule, nodes_, request_);
+  EXPECT_TRUE(db->allowed);
+  EXPECT_NE(db->row_filter, nullptr);
+
+  request_.session_key_id = "Kc";
+  auto dc = EvaluateAccess(*rule, nodes_, request_);
+  EXPECT_FALSE(dc->allowed);
+}
+
+TEST_F(InterpreterTest, ReuseMapFilter) {
+  auto d = EvaluateAccess(*Rule("read ::= reuseMap(m)"), nodes_, request_);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->allowed);
+  ASSERT_NE(d->row_filter, nullptr);
+  // bit 2: (_reuse % 8) >= 4
+  EXPECT_EQ(d->row_filter->ToString(), "((_reuse % 8) >= 4)");
+}
+
+TEST_F(InterpreterTest, ReuseMapWithoutBitDenied) {
+  request_.reuse_bit = -1;
+  auto d = EvaluateAccess(*Rule("read ::= reuseMap(m)"), nodes_, request_);
+  EXPECT_FALSE(d->allowed);
+}
+
+TEST_F(InterpreterTest, LogUpdateObligation) {
+  auto d = EvaluateAccess(*Rule("read ::= logUpdate(l, K, Q)"), nodes_, request_);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->allowed);
+  ASSERT_EQ(d->obligations.size(), 1u);
+  EXPECT_EQ(d->obligations[0].log_name, "l");
+  EXPECT_TRUE(d->obligations[0].log_key);
+  EXPECT_TRUE(d->obligations[0].log_query);
+}
+
+TEST_F(InterpreterTest, ExecPolicyAllSatisfied) {
+  auto d = EvaluateExec(
+      *Rule("exec ::= fwVersionStorage(latest) & fwVersionHost(latest)"),
+      nodes_, request_);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->host_eligible);
+  EXPECT_TRUE(d->storage_eligible);
+}
+
+TEST_F(InterpreterTest, StorageBlockerFallsBackToHostOnly) {
+  nodes_.storage_location = "us-east-1";
+  auto d = EvaluateExec(*Rule("exec ::= storageLocIs(eu-west-1)"), nodes_,
+                        request_);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->host_eligible);
+  EXPECT_FALSE(d->storage_eligible);
+}
+
+TEST_F(InterpreterTest, HostBlockerDeniesEntirely) {
+  nodes_.host_location = "us-east-1";
+  auto d = EvaluateExec(*Rule("exec ::= hostLocIs(eu-west-1)"), nodes_,
+                        request_);
+  ASSERT_TRUE(d.ok());
+  EXPECT_FALSE(d->host_eligible);
+}
+
+TEST_F(InterpreterTest, StaleStorageFirmwareBlocksOffload) {
+  nodes_.storage_fw = 2;
+  auto d = EvaluateExec(
+      *Rule("exec ::= fwVersionStorage(latest) & fwVersionHost(latest)"),
+      nodes_, request_);
+  EXPECT_TRUE(d->host_eligible);
+  EXPECT_FALSE(d->storage_eligible);
+}
+
+TEST_F(InterpreterTest, NumericFirmwareThreshold) {
+  nodes_.storage_fw = 2;
+  auto d = EvaluateExec(*Rule("exec ::= fwVersionStorage(2)"), nodes_, request_);
+  EXPECT_TRUE(d->storage_eligible);
+  auto d2 = EvaluateExec(*Rule("exec ::= fwVersionStorage(3)"), nodes_, request_);
+  EXPECT_FALSE(d2->storage_eligible);
+}
+
+TEST_F(InterpreterTest, UnattestedStorageFailsLocationCheck) {
+  nodes_.storage_attested = false;
+  auto d = EvaluateExec(*Rule("exec ::= storageLocIs(eu-west-1)"), nodes_,
+                        request_);
+  EXPECT_TRUE(d->host_eligible);
+  EXPECT_FALSE(d->storage_eligible);
+}
+
+TEST_F(InterpreterTest, MultiLocationList) {
+  auto d = EvaluateExec(*Rule("exec ::= storageLocIs(us-east-1, eu-west-1)"),
+                        nodes_, request_);
+  EXPECT_TRUE(d->storage_eligible);
+}
+
+// ---------------- rewriting ----------------
+
+TEST(RewriterTest, InjectIntoSelectWithExistingWhere) {
+  auto stmt = sql::ParseSelect("SELECT name FROM records WHERE id = 7");
+  ASSERT_TRUE(stmt.ok());
+  auto filter = sql::ParseExpression("le(0, 1)");  // placeholder expr
+  auto real = sql::Expr::MakeBinary(
+      sql::BinOp::kLe, sql::Expr::MakeLiteral(sql::Value::Date(100)),
+      sql::Expr::MakeColumn(kExpiryColumn));
+  ASSERT_TRUE(InjectRowFilter(stmt->get(), *real).ok());
+  std::string printed = (*stmt)->ToString();
+  EXPECT_NE(printed.find("_expiry"), std::string::npos);
+  EXPECT_NE(printed.find("id = 7"), std::string::npos);
+}
+
+TEST(RewriterTest, InjectIntoSelectWithoutWhere) {
+  auto stmt = sql::ParseSelect("SELECT * FROM records");
+  auto filter = sql::Expr::MakeColumn(kReuseColumn);
+  ASSERT_TRUE(InjectRowFilter(stmt->get(), *filter).ok());
+  EXPECT_NE((*stmt)->ToString().find("WHERE"), std::string::npos);
+}
+
+TEST(RewriterTest, AddPolicyColumns) {
+  auto stmt = sql::Parse("CREATE TABLE t (a INTEGER)");
+  ASSERT_TRUE(stmt.ok());
+  AddPolicyColumns(stmt->create_table.get(), true, true);
+  ASSERT_EQ(stmt->create_table->columns.size(), 3u);
+  EXPECT_EQ(stmt->create_table->columns[1].name, kExpiryColumn);
+  EXPECT_EQ(stmt->create_table->columns[1].type, sql::Type::kDate);
+  EXPECT_EQ(stmt->create_table->columns[2].name, kReuseColumn);
+}
+
+TEST(RewriterTest, ExtendInsertAppendsValues) {
+  auto stmt = sql::Parse("INSERT INTO t (a) VALUES (1), (2)");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE(
+      ExtendInsert(stmt->insert.get(), true, 12345, true, 0b101).ok());
+  EXPECT_EQ(stmt->insert->columns.size(), 3u);
+  for (const auto& row : stmt->insert->values) {
+    EXPECT_EQ(row.size(), 3u);
+  }
+}
+
+TEST(RewriterTest, ExtendInsertRequiresValues) {
+  auto stmt = sql::Parse("INSERT INTO t (a) VALUES (1)");
+  EXPECT_FALSE(ExtendInsert(stmt->insert.get(), true, std::nullopt, false,
+                            std::nullopt)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace ironsafe::policy

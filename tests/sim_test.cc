@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "sim/cost_model.h"
+
+namespace ironsafe::sim {
+namespace {
+
+TEST(CostModelTest, StartsAtZero) {
+  CostModel cm;
+  EXPECT_EQ(cm.elapsed_ns(), 0u);
+}
+
+TEST(CostModelTest, HostCyclesFasterThanStorageCycles) {
+  CostModel host_cm, storage_cm;
+  host_cm.ChargeCycles(Site::kHost, 1'000'000);
+  storage_cm.ChargeCycles(Site::kStorage, 1'000'000);
+  // The ARM storage CPU (2.2 GHz, 0.45 IPC factor) must be slower per
+  // cycle-count than the host (3.7 GHz, 1.0).
+  EXPECT_GT(storage_cm.elapsed_ns(), host_cm.elapsed_ns());
+  double ratio = static_cast<double>(storage_cm.elapsed_ns()) /
+                 static_cast<double>(host_cm.elapsed_ns());
+  EXPECT_NEAR(ratio, 3.7 / (2.2 * 0.45), 0.1);
+}
+
+TEST(CostModelTest, ParallelismCapsAtCoreCount) {
+  CostModel a, b;
+  a.ChargeParallelCycles(Site::kStorage, 1'000'000, 16);
+  b.ChargeParallelCycles(Site::kStorage, 1'000'000, 1000);
+  EXPECT_EQ(a.elapsed_ns(), b.elapsed_ns());  // 16 cores max
+}
+
+TEST(CostModelTest, StorageCoreHotplugAffectsParallelWork) {
+  CostModel cm;
+  cm.set_storage_cores(1);
+  cm.ChargeParallelCycles(Site::kStorage, 1'000'000, 16);
+  CostModel full;
+  full.ChargeParallelCycles(Site::kStorage, 1'000'000, 16);
+  EXPECT_NEAR(static_cast<double>(cm.elapsed_ns()) / full.elapsed_ns(), 16.0,
+              0.5);
+}
+
+TEST(CostModelTest, NetworkSlowerThanDiskPerByte) {
+  CostModel disk, net;
+  constexpr uint64_t kBytes = 100ull << 20;
+  disk.ChargeDiskRead(kBytes);
+  net.ChargeNetwork(kBytes);
+  // Paper: NVMe 3329 MB/s vs single-stream network 850 MB/s.
+  EXPECT_GT(net.elapsed_ns(), 3 * disk.elapsed_ns());
+}
+
+TEST(CostModelTest, BucketsSumToTotal) {
+  CostModel cm;
+  cm.ChargeCycles(Site::kHost, 5000);
+  cm.ChargeDiskRead(4096);
+  cm.ChargeNetwork(4096);
+  cm.ChargeEnclaveTransition();
+  cm.ChargeEpcFault();
+  cm.ChargePageDecrypt(Site::kStorage);
+  cm.ChargePageMacVerify(Site::kStorage);
+  cm.ChargeMerkleNodes(Site::kStorage, 10);
+  SimNanos sum = cm.compute_ns() + cm.disk_ns() + cm.network_ns() +
+                 cm.enclave_transition_ns() + cm.epc_fault_ns() +
+                 cm.decrypt_ns() + cm.freshness_ns();
+  EXPECT_EQ(sum, cm.elapsed_ns());
+}
+
+TEST(CostModelTest, CountersTrackEvents) {
+  CostModel cm;
+  cm.ChargeEnclaveTransition();
+  cm.ChargeEnclaveTransition();
+  cm.ChargeEpcFault();
+  cm.ChargeDiskRead(100);
+  cm.ChargeNetwork(200);
+  cm.ChargePageDecrypt(Site::kHost);
+  EXPECT_EQ(cm.enclave_transitions(), 2u);
+  EXPECT_EQ(cm.epc_faults(), 1u);
+  EXPECT_EQ(cm.disk_bytes(), 100u);
+  EXPECT_EQ(cm.network_bytes(), 200u);
+  EXPECT_EQ(cm.pages_decrypted(), 1u);
+}
+
+TEST(CostModelTest, ResetClearsEverything) {
+  CostModel cm;
+  cm.ChargeNetwork(1000);
+  cm.ChargeEpcFault();
+  cm.Reset();
+  EXPECT_EQ(cm.elapsed_ns(), 0u);
+  EXPECT_EQ(cm.epc_faults(), 0u);
+  EXPECT_EQ(cm.network_bytes(), 0u);
+}
+
+TEST(CostModelTest, SummaryMentionsComponents) {
+  CostModel cm;
+  cm.ChargeNetwork(1 << 20);
+  std::string s = cm.Summary();
+  EXPECT_NE(s.find("net="), std::string::npos);
+  EXPECT_NE(s.find("total="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ironsafe::sim

@@ -1,0 +1,392 @@
+#include <gtest/gtest.h>
+
+#include "sql/database.h"
+#include "sql/eval.h"
+#include "sql/parser.h"
+
+namespace ironsafe::sql {
+namespace {
+
+class SqlExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = Database::CreateInMemory();
+    Run("CREATE TABLE emp (id INTEGER, name VARCHAR, dept VARCHAR, "
+        "salary DOUBLE, hired DATE)");
+    Run("INSERT INTO emp VALUES "
+        "(1, 'alice', 'eng', 120000.0, '2015-02-01'), "
+        "(2, 'bob', 'eng', 95000.0, '2017-06-15'), "
+        "(3, 'carol', 'sales', 80000.0, '2016-01-10'), "
+        "(4, 'dave', 'sales', 85000.0, '2019-09-30'), "
+        "(5, 'erin', 'hr', 70000.0, '2020-11-20')");
+    Run("CREATE TABLE dept (dname VARCHAR, budget DOUBLE)");
+    Run("INSERT INTO dept VALUES ('eng', 2000000.0), ('sales', 800000.0), "
+        "('hr', 300000.0)");
+  }
+
+  QueryResult Run(const std::string& sql) {
+    auto r = db_->Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? *r : QueryResult{};
+  }
+
+  Status RunStatus(const std::string& sql) {
+    return db_->Execute(sql).status();
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(SqlExecTest, SelectStar) {
+  auto r = Run("SELECT * FROM emp");
+  EXPECT_EQ(r.rows.size(), 5u);
+  EXPECT_EQ(r.schema.size(), 5u);
+}
+
+TEST_F(SqlExecTest, WhereFilter) {
+  auto r = Run("SELECT name FROM emp WHERE salary > 90000");
+  ASSERT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(SqlExecTest, Projection) {
+  auto r = Run("SELECT name, salary * 1.1 AS raised FROM emp WHERE id = 1");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.schema.column(1).name, "raised");
+  EXPECT_NEAR(r.rows[0][1].AsDouble(), 132000.0, 0.01);
+}
+
+TEST_F(SqlExecTest, OrderByAscDesc) {
+  auto r = Run("SELECT name FROM emp ORDER BY salary DESC");
+  EXPECT_EQ(r.rows[0][0].AsString(), "alice");
+  EXPECT_EQ(r.rows.back()[0].AsString(), "erin");
+
+  auto r2 = Run("SELECT name FROM emp ORDER BY name");
+  EXPECT_EQ(r2.rows[0][0].AsString(), "alice");
+  EXPECT_EQ(r2.rows[4][0].AsString(), "erin");
+}
+
+TEST_F(SqlExecTest, MultiKeyOrder) {
+  auto r = Run("SELECT dept, name FROM emp ORDER BY dept, salary DESC");
+  EXPECT_EQ(r.rows[0][1].AsString(), "alice");   // eng high
+  EXPECT_EQ(r.rows[1][1].AsString(), "bob");     // eng low
+}
+
+TEST_F(SqlExecTest, Limit) {
+  EXPECT_EQ(Run("SELECT * FROM emp LIMIT 2").rows.size(), 2u);
+  EXPECT_EQ(Run("SELECT * FROM emp LIMIT 0").rows.size(), 0u);
+}
+
+TEST_F(SqlExecTest, Distinct) {
+  auto r = Run("SELECT DISTINCT dept FROM emp");
+  EXPECT_EQ(r.rows.size(), 3u);
+}
+
+TEST_F(SqlExecTest, GlobalAggregates) {
+  auto r = Run("SELECT count(*), sum(salary), avg(salary), min(name), "
+               "max(hired) FROM emp");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 5);
+  EXPECT_NEAR(r.rows[0][1].AsDouble(), 450000.0, 0.01);
+  EXPECT_NEAR(r.rows[0][2].AsDouble(), 90000.0, 0.01);
+  EXPECT_EQ(r.rows[0][3].AsString(), "alice");
+  EXPECT_EQ(FormatDate(r.rows[0][4].AsInt()), "2020-11-20");
+}
+
+TEST_F(SqlExecTest, AggregateOverEmptyInput) {
+  auto r = Run("SELECT count(*), sum(salary) FROM emp WHERE id > 100");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 0);
+  EXPECT_TRUE(r.rows[0][1].is_null());
+}
+
+TEST_F(SqlExecTest, GroupBy) {
+  auto r = Run("SELECT dept, count(*) AS n, avg(salary) AS pay FROM emp "
+               "GROUP BY dept ORDER BY dept");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "eng");
+  EXPECT_EQ(r.rows[0][1].AsInt(), 2);
+  EXPECT_NEAR(r.rows[0][2].AsDouble(), 107500.0, 0.01);
+}
+
+TEST_F(SqlExecTest, GroupByExpression) {
+  auto r = Run("SELECT year(hired) AS y, count(*) AS n FROM emp GROUP BY "
+               "year(hired) ORDER BY y");
+  ASSERT_EQ(r.rows.size(), 5u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2015);
+}
+
+TEST_F(SqlExecTest, Having) {
+  auto r = Run("SELECT dept, count(*) AS n FROM emp GROUP BY dept "
+               "HAVING count(*) > 1 ORDER BY dept");
+  ASSERT_EQ(r.rows.size(), 2u);  // eng, sales
+}
+
+TEST_F(SqlExecTest, CountDistinct) {
+  auto r = Run("SELECT count(DISTINCT dept) FROM emp");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 3);
+}
+
+TEST_F(SqlExecTest, ExplicitJoin) {
+  auto r = Run("SELECT name, budget FROM emp JOIN dept ON dept = dname "
+               "WHERE budget > 500000 ORDER BY name");
+  ASSERT_EQ(r.rows.size(), 4u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "alice");
+}
+
+TEST_F(SqlExecTest, CommaJoinWithWhereEquiKey) {
+  auto r = Run("SELECT e.name FROM emp e, dept d WHERE e.dept = d.dname AND "
+               "d.budget < 500000");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "erin");
+}
+
+TEST_F(SqlExecTest, CrossProductWithoutPredicate) {
+  auto r = Run("SELECT count(*) FROM emp, dept");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 15);
+}
+
+TEST_F(SqlExecTest, SelfJoinWithAliases) {
+  auto r = Run("SELECT a.name, b.name FROM emp a, emp b WHERE a.dept = b.dept "
+               "AND a.id < b.id");
+  EXPECT_EQ(r.rows.size(), 2u);  // (alice,bob), (carol,dave)
+}
+
+TEST_F(SqlExecTest, ScalarSubquery) {
+  auto r = Run("SELECT name FROM emp WHERE salary = (SELECT max(salary) FROM emp)");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "alice");
+}
+
+TEST_F(SqlExecTest, CorrelatedScalarSubquery) {
+  // Employees earning above their department average.
+  auto r = Run("SELECT name FROM emp e WHERE salary > "
+               "(SELECT avg(salary) FROM emp e2 WHERE e2.dept = e.dept) "
+               "ORDER BY name");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "alice");
+  EXPECT_EQ(r.rows[1][0].AsString(), "dave");
+}
+
+TEST_F(SqlExecTest, InSubquery) {
+  auto r = Run("SELECT name FROM emp WHERE dept IN "
+               "(SELECT dname FROM dept WHERE budget >= 800000) ORDER BY name");
+  EXPECT_EQ(r.rows.size(), 4u);
+}
+
+TEST_F(SqlExecTest, NotExistsCorrelated) {
+  Run("CREATE TABLE bonus (emp_id INTEGER)");
+  Run("INSERT INTO bonus VALUES (1), (3)");
+  auto r = Run("SELECT name FROM emp e WHERE NOT EXISTS "
+               "(SELECT 1 FROM bonus b WHERE b.emp_id = e.id) ORDER BY name");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "bob");
+}
+
+TEST_F(SqlExecTest, CaseExpression) {
+  auto r = Run("SELECT name, CASE WHEN salary >= 100000 THEN 'high' "
+               "WHEN salary >= 80000 THEN 'mid' ELSE 'low' END AS band "
+               "FROM emp ORDER BY id");
+  EXPECT_EQ(r.rows[0][1].AsString(), "high");
+  EXPECT_EQ(r.rows[2][1].AsString(), "mid");
+  EXPECT_EQ(r.rows[4][1].AsString(), "low");
+}
+
+TEST_F(SqlExecTest, LikePatterns) {
+  EXPECT_EQ(Run("SELECT name FROM emp WHERE name LIKE 'a%'").rows.size(), 1u);
+  EXPECT_EQ(Run("SELECT name FROM emp WHERE name LIKE '%o%'").rows.size(), 2u);
+  EXPECT_EQ(Run("SELECT name FROM emp WHERE name LIKE '_ob'").rows.size(), 1u);
+  // bob and erin are the only names without an 'a'.
+  EXPECT_EQ(Run("SELECT name FROM emp WHERE name NOT LIKE '%a%'").rows.size(),
+            2u);
+}
+
+TEST_F(SqlExecTest, BetweenAndIn) {
+  EXPECT_EQ(
+      Run("SELECT * FROM emp WHERE salary BETWEEN 80000 AND 95000").rows.size(),
+      3u);
+  EXPECT_EQ(Run("SELECT * FROM emp WHERE dept IN ('eng', 'hr')").rows.size(),
+            3u);
+  EXPECT_EQ(
+      Run("SELECT * FROM emp WHERE dept NOT IN ('eng', 'hr')").rows.size(),
+      2u);
+}
+
+TEST_F(SqlExecTest, DateComparisonsAndArithmetic) {
+  auto r = Run("SELECT name FROM emp WHERE hired < DATE '2017-01-01'");
+  EXPECT_EQ(r.rows.size(), 2u);
+
+  // < 2017-06-15 excludes bob, whose hire date is exactly the boundary.
+  auto r2 = Run("SELECT name FROM emp WHERE hired < DATE '2016-06-15' + "
+                "INTERVAL '1' YEAR");
+  EXPECT_EQ(r2.rows.size(), 2u);
+  auto r3 = Run("SELECT name FROM emp WHERE hired <= DATE '2016-06-15' + "
+                "INTERVAL '1' YEAR");
+  EXPECT_EQ(r3.rows.size(), 3u);
+}
+
+TEST_F(SqlExecTest, ScalarFunctions) {
+  auto r = Run("SELECT substr(name, 1, 3), length(name), upper(dept) "
+               "FROM emp WHERE id = 3");
+  EXPECT_EQ(r.rows[0][0].AsString(), "car");
+  EXPECT_EQ(r.rows[0][1].AsInt(), 5);
+  EXPECT_EQ(r.rows[0][2].AsString(), "SALES");
+}
+
+TEST_F(SqlExecTest, ArithmeticSemantics) {
+  auto r = Run("SELECT 7 / 2, 7 % 3, -salary FROM emp WHERE id = 1");
+  EXPECT_DOUBLE_EQ(r.rows[0][0].AsDouble(), 3.5);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 1);
+  EXPECT_DOUBLE_EQ(r.rows[0][2].AsDouble(), -120000.0);
+}
+
+TEST_F(SqlExecTest, DivisionByZeroFails) {
+  EXPECT_FALSE(RunStatus("SELECT 1 / 0 FROM emp").ok());
+}
+
+TEST_F(SqlExecTest, UnknownColumnFails) {
+  EXPECT_FALSE(RunStatus("SELECT nonexistent FROM emp").ok());
+}
+
+TEST_F(SqlExecTest, UnknownTableFails) {
+  EXPECT_TRUE(RunStatus("SELECT * FROM ghosts").IsNotFound());
+}
+
+TEST_F(SqlExecTest, AmbiguousColumnFails) {
+  EXPECT_FALSE(RunStatus("SELECT name FROM emp a, emp b").ok());
+}
+
+TEST_F(SqlExecTest, DeleteWithPredicate) {
+  auto r = Run("DELETE FROM emp WHERE dept = 'sales'");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+  EXPECT_EQ(Run("SELECT count(*) FROM emp").rows[0][0].AsInt(), 3);
+}
+
+TEST_F(SqlExecTest, Update) {
+  auto r = Run("UPDATE emp SET salary = salary * 2 WHERE dept = 'hr'");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1);
+  auto check = Run("SELECT salary FROM emp WHERE name = 'erin'");
+  EXPECT_NEAR(check.rows[0][0].AsDouble(), 140000.0, 0.01);
+}
+
+TEST_F(SqlExecTest, InsertIntoSubsetOfColumns) {
+  Run("INSERT INTO emp (id, name) VALUES (9, 'zed')");
+  auto r = Run("SELECT dept FROM emp WHERE id = 9");
+  EXPECT_TRUE(r.rows[0][0].is_null());
+}
+
+TEST_F(SqlExecTest, SelectWithoutFrom) {
+  auto r = Run("SELECT 1 + 2 AS three, 'x'");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 3);
+}
+
+TEST_F(SqlExecTest, IsNullFiltering) {
+  Run("INSERT INTO emp (id, name) VALUES (10, 'nix')");
+  EXPECT_EQ(Run("SELECT * FROM emp WHERE dept IS NULL").rows.size(), 1u);
+  EXPECT_EQ(Run("SELECT * FROM emp WHERE dept IS NOT NULL").rows.size(), 5u);
+}
+
+TEST(LikeMatchTest, Cases) {
+  EXPECT_TRUE(LikeMatch("hello", "hello"));
+  EXPECT_TRUE(LikeMatch("hello", "h%"));
+  EXPECT_TRUE(LikeMatch("hello", "%llo"));
+  EXPECT_TRUE(LikeMatch("hello", "%ell%"));
+  EXPECT_TRUE(LikeMatch("hello", "h_llo"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("", "_"));
+  EXPECT_FALSE(LikeMatch("hello", "h_lo"));
+  EXPECT_TRUE(LikeMatch("abcabc", "%abc"));
+  EXPECT_TRUE(LikeMatch("green metallic", "%green%"));
+  EXPECT_FALSE(LikeMatch("gren", "%green%"));
+}
+
+// ---------------- paged + secure databases ----------------
+
+TEST(PagedDatabaseTest, WorksOverPlainPages) {
+  storage::BlockDevice disk;
+  PlainPageStore store(&disk);
+  auto db = Database::CreatePaged(&store);
+  ASSERT_TRUE(db->Execute("CREATE TABLE t (a INTEGER, b VARCHAR)").ok());
+  // Enough rows to span multiple pages.
+  std::vector<Row> rows;
+  for (int i = 0; i < 2000; ++i) {
+    rows.push_back(Row{Value::Int(i), Value::String("row-" + std::to_string(i))});
+  }
+  ASSERT_TRUE(db->BulkLoad("t", rows).ok());
+  auto t = db->GetTable("t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_GT((*t)->page_count(), 5u);
+
+  auto r = db->Execute("SELECT count(*), min(a), max(a) FROM t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].AsInt(), 2000);
+  EXPECT_EQ(r->rows[0][1].AsInt(), 0);
+  EXPECT_EQ(r->rows[0][2].AsInt(), 1999);
+}
+
+TEST(PagedDatabaseTest, ChargesDiskCostPerScan) {
+  storage::BlockDevice disk;
+  PlainPageStore store(&disk);
+  auto db = Database::CreatePaged(&store);
+  ASSERT_TRUE(db->Execute("CREATE TABLE t (a INTEGER)").ok());
+  std::vector<Row> rows;
+  for (int i = 0; i < 5000; ++i) rows.push_back(Row{Value::Int(i)});
+  ASSERT_TRUE(db->BulkLoad("t", rows).ok());
+
+  sim::CostModel cm;
+  ASSERT_TRUE(db->Execute("SELECT sum(a) FROM t", &cm).ok());
+  EXPECT_GT(cm.disk_bytes(), 0u);
+  EXPECT_GT(cm.elapsed_ns(), 0u);
+}
+
+TEST(PagedDatabaseTest, WorksOverSecureStore) {
+  tee::DeviceManufacturer mfg(ToBytes("m"));
+  tee::TrustZoneDevice device(ToBytes("s"), mfg, {"n1", "eu", 1});
+  securestore::SecureStorageTa ta(&device);
+  storage::BlockDevice disk;
+  auto secure = securestore::SecureStore::Create(&disk, &ta);
+  ASSERT_TRUE(secure.ok());
+  SecurePageStore store(secure->get());
+
+  auto db = Database::CreatePaged(&store);
+  ASSERT_TRUE(db->Execute("CREATE TABLE t (a INTEGER, s VARCHAR)").ok());
+  std::vector<Row> rows;
+  for (int i = 0; i < 500; ++i) {
+    rows.push_back(Row{Value::Int(i), Value::String("secret-" + std::to_string(i))});
+  }
+  ASSERT_TRUE(db->BulkLoad("t", rows).ok());
+
+  sim::CostModel cm;
+  auto r = db->Execute("SELECT count(*) FROM t WHERE a % 2 = 0", &cm);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows[0][0].AsInt(), 250);
+  EXPECT_GT(cm.pages_decrypted(), 0u);
+  EXPECT_GT(cm.freshness_ns(), 0u);
+}
+
+TEST(ExecOptionsTest, MemoryCapCausesSpillCharges) {
+  auto db = Database::CreateInMemory();
+  ASSERT_TRUE(db->Execute("CREATE TABLE big (a INTEGER, pad VARCHAR)").ok());
+  std::vector<Row> rows;
+  for (int i = 0; i < 3000; ++i) {
+    rows.push_back(Row{Value::Int(i % 100), Value::String(std::string(100, 'x'))});
+  }
+  ASSERT_TRUE(db->BulkLoad("big", rows).ok());
+
+  ExecOptions opts;
+  opts.memory_cap_bytes = 1024;  // absurdly small: force spills
+  sim::CostModel cm;
+  ExecStats stats;
+  auto stmt = ParseSelect(
+      "SELECT a, count(*) FROM big b1, big b2 WHERE b1.a = b2.a GROUP BY a");
+  // Use a cheaper query: hash join build side exceeds 1KB.
+  auto stmt2 = ParseSelect("SELECT b1.a FROM big b1 JOIN big b2 ON b1.a = b2.a LIMIT 1");
+  ASSERT_TRUE(stmt2.ok());
+  auto r = ExecuteSelect(db.get(), **stmt2, nullptr, &cm, opts, &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(stats.spill_bytes, 0u);
+  EXPECT_GT(stats.peak_memory_bytes, opts.memory_cap_bytes);
+}
+
+}  // namespace
+}  // namespace ironsafe::sql

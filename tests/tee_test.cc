@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include "tee/rpmb.h"
+#include "tee/sgx.h"
+#include "tee/trustzone.h"
+
+namespace ironsafe::tee {
+namespace {
+
+// ---------------- RPMB ----------------
+
+class RpmbTest : public ::testing::Test {
+ protected:
+  RpmbDevice device_;
+  Bytes key_ = Bytes(32, 0x77);
+};
+
+TEST_F(RpmbTest, KeyProgrammedOnce) {
+  EXPECT_TRUE(device_.ProgramKey(key_).ok());
+  EXPECT_TRUE(device_.ProgramKey(key_).code() ==
+              StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RpmbTest, RejectsEmptyKey) {
+  EXPECT_TRUE(device_.ProgramKey({}).IsInvalidArgument());
+}
+
+TEST_F(RpmbTest, WriteRequiresValidMac) {
+  ASSERT_TRUE(device_.ProgramKey(key_).ok());
+  Bytes data = ToBytes("root-mac-v1");
+  Bytes good = RpmbDevice::MakeWriteMac(key_, 3, 0, data);
+  Bytes bad = good;
+  bad[0] ^= 1;
+  EXPECT_TRUE(device_.AuthenticatedWrite(3, data, 0, bad).IsUnauthenticated());
+  EXPECT_TRUE(device_.AuthenticatedWrite(3, data, 0, good).ok());
+  EXPECT_EQ(device_.write_counter(), 1u);
+}
+
+TEST_F(RpmbTest, ReplayedWriteFrameRejected) {
+  ASSERT_TRUE(device_.ProgramKey(key_).ok());
+  Bytes data = ToBytes("v1");
+  Bytes mac = RpmbDevice::MakeWriteMac(key_, 0, 0, data);
+  ASSERT_TRUE(device_.AuthenticatedWrite(0, data, 0, mac).ok());
+  // Replaying the same (counter=0) frame must fail: counter advanced.
+  EXPECT_TRUE(
+      device_.AuthenticatedWrite(0, data, 0, mac).IsUnauthenticated());
+}
+
+TEST_F(RpmbTest, WriteWithWrongKeyRejected) {
+  ASSERT_TRUE(device_.ProgramKey(key_).ok());
+  Bytes attacker_key(32, 0xEE);
+  Bytes data = ToBytes("evil");
+  Bytes mac = RpmbDevice::MakeWriteMac(attacker_key, 0, 0, data);
+  EXPECT_TRUE(device_.AuthenticatedWrite(0, data, 0, mac).IsUnauthenticated());
+}
+
+TEST_F(RpmbTest, ReadResponseAuthenticatedByNonce) {
+  ASSERT_TRUE(device_.ProgramKey(key_).ok());
+  RpmbClient client(&device_, key_);
+  ASSERT_TRUE(client.Write(5, ToBytes("hello")).ok());
+  auto data = client.Read(5, Bytes(16, 1));
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, ToBytes("hello"));
+}
+
+TEST_F(RpmbTest, SubstituteDeviceDetectedOnRead) {
+  ASSERT_TRUE(device_.ProgramKey(key_).ok());
+  // Attacker swaps in a device programmed with a different key.
+  RpmbDevice fake;
+  ASSERT_TRUE(fake.ProgramKey(Bytes(32, 0xAB)).ok());
+  RpmbClient client(&fake, key_);  // client still holds the real key
+  EXPECT_TRUE(client.Read(0, Bytes(16, 2)).status().IsUnauthenticated());
+}
+
+TEST_F(RpmbTest, SlotBoundsChecked) {
+  ASSERT_TRUE(device_.ProgramKey(key_).ok());
+  RpmbClient client(&device_, key_);
+  EXPECT_TRUE(client.Write(RpmbDevice::kNumSlots, {}).IsInvalidArgument());
+}
+
+TEST_F(RpmbTest, OversizeDataRejected) {
+  ASSERT_TRUE(device_.ProgramKey(key_).ok());
+  RpmbClient client(&device_, key_);
+  EXPECT_TRUE(
+      client.Write(0, Bytes(RpmbDevice::kSlotSize + 1, 0)).IsInvalidArgument());
+}
+
+// ---------------- SGX ----------------
+
+class SgxTest : public ::testing::Test {
+ protected:
+  SgxMachine machine_{ToBytes("host-platform-1")};
+};
+
+TEST_F(SgxTest, MeasurementIsImageDigest) {
+  auto e1 = machine_.LoadEnclave("host-engine", ToBytes("code v1"));
+  auto e2 = machine_.LoadEnclave("host-engine", ToBytes("code v1"));
+  auto e3 = machine_.LoadEnclave("host-engine", ToBytes("code v2"));
+  EXPECT_EQ(e1->measurement(), e2->measurement());
+  EXPECT_NE(e1->measurement(), e3->measurement());
+}
+
+TEST_F(SgxTest, QuoteVerifiesAgainstRegisteredPlatform) {
+  auto enclave = machine_.LoadEnclave("host-engine", ToBytes("code"));
+  SgxQuote quote = enclave->GetQuote(Bytes(64, 0x01));
+
+  SgxAttestationService ias;
+  ias.RegisterPlatform(machine_.platform_id(),
+                       machine_.attestation_public_key());
+  EXPECT_TRUE(ias.VerifyQuote(quote).ok());
+}
+
+TEST_F(SgxTest, QuoteFromUnknownPlatformRejected) {
+  auto enclave = machine_.LoadEnclave("host-engine", ToBytes("code"));
+  SgxQuote quote = enclave->GetQuote({});
+  SgxAttestationService ias;  // nothing registered
+  EXPECT_TRUE(ias.VerifyQuote(quote).IsUnauthenticated());
+}
+
+TEST_F(SgxTest, TamperedQuoteRejected) {
+  auto enclave = machine_.LoadEnclave("host-engine", ToBytes("code"));
+  SgxQuote quote = enclave->GetQuote(Bytes(64, 0));
+  SgxAttestationService ias;
+  ias.RegisterPlatform(machine_.platform_id(),
+                       machine_.attestation_public_key());
+
+  SgxQuote forged = quote;
+  forged.measurement = Bytes(32, 0xFF);  // pretend to be different code
+  EXPECT_TRUE(ias.VerifyQuote(forged).IsUnauthenticated());
+
+  SgxQuote forged2 = quote;
+  forged2.report_data = Bytes(64, 0xEE);
+  EXPECT_TRUE(ias.VerifyQuote(forged2).IsUnauthenticated());
+}
+
+TEST_F(SgxTest, QuoteSerializationRoundTrip) {
+  auto enclave = machine_.LoadEnclave("e", ToBytes("img"));
+  SgxQuote quote = enclave->GetQuote(ToBytes("report-data"));
+  auto back = SgxQuote::Deserialize(quote.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->measurement, quote.measurement);
+  EXPECT_EQ(back->report_data, quote.report_data);
+  EXPECT_EQ(back->signature, quote.signature);
+}
+
+TEST_F(SgxTest, SealUnsealRoundTrip) {
+  auto enclave = machine_.LoadEnclave("e", ToBytes("img"));
+  auto sealed = enclave->Seal(ToBytes("database key material"));
+  ASSERT_TRUE(sealed.ok());
+  auto opened = enclave->Unseal(*sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*opened, ToBytes("database key material"));
+}
+
+TEST_F(SgxTest, DifferentEnclaveCannotUnseal) {
+  auto e1 = machine_.LoadEnclave("e1", ToBytes("img-a"));
+  auto e2 = machine_.LoadEnclave("e2", ToBytes("img-b"));
+  auto sealed = e1->Seal(ToBytes("secret"));
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_FALSE(e2->Unseal(*sealed).ok());
+}
+
+TEST_F(SgxTest, DifferentPlatformCannotUnseal) {
+  SgxMachine other(ToBytes("host-platform-2"));
+  auto e1 = machine_.LoadEnclave("e", ToBytes("img"));
+  auto e2 = other.LoadEnclave("e", ToBytes("img"));  // same measurement
+  auto sealed = e1->Seal(ToBytes("secret"));
+  EXPECT_FALSE(e2->Unseal(*sealed).ok());
+}
+
+TEST_F(SgxTest, EpcWithinLimitCausesNoFaults) {
+  auto enclave = machine_.LoadEnclave("e", ToBytes("img"));
+  sim::CostModel cm;
+  enclave->TouchMemory(0, 50ull << 20, &cm);  // 50 MiB < 96 MiB EPC
+  EXPECT_EQ(cm.epc_faults(), 0u);
+}
+
+TEST_F(SgxTest, EpcOverflowCausesFaults) {
+  auto enclave = machine_.LoadEnclave("e", ToBytes("img"));
+  sim::CostModel cm;
+  enclave->TouchMemory(0, 120ull << 20, &cm);  // 120 MiB > 96 MiB EPC
+  EXPECT_GT(cm.epc_faults(), 0u);
+  // Overflow is 24 MiB = 6144 pages.
+  EXPECT_EQ(cm.epc_faults(), (24ull << 20) / 4096);
+}
+
+TEST_F(SgxTest, RetouchingResidentPagesIsFree) {
+  auto enclave = machine_.LoadEnclave("e", ToBytes("img"));
+  sim::CostModel cm;
+  enclave->TouchMemory(0, 10 << 20, &cm);
+  uint64_t faults = cm.epc_faults();
+  enclave->TouchMemory(0, 10 << 20, &cm);
+  EXPECT_EQ(cm.epc_faults(), faults);
+}
+
+TEST_F(SgxTest, TransitionsAreCharged) {
+  auto enclave = machine_.LoadEnclave("e", ToBytes("img"));
+  sim::CostModel cm;
+  enclave->EnterExit(&cm);
+  enclave->EnterExit(&cm);
+  EXPECT_EQ(cm.enclave_transitions(), 2u);
+  EXPECT_GT(cm.enclave_transition_ns(), 0u);
+}
+
+// ---------------- TrustZone ----------------
+
+class TrustZoneTest : public ::testing::Test {
+ protected:
+  TrustZoneTest()
+      : manufacturer_(ToBytes("nxp")),
+        device_(ToBytes("lx2160a-serial-42"), manufacturer_,
+                StorageNodeConfig{"storage-1", "eu-west-1", 3}) {}
+
+  std::vector<std::pair<std::string, Bytes>> GoodImages() {
+    return {{"BL2", ToBytes("bl2 firmware")},
+            {"TrustedOS", ToBytes("op-tee 3.4")},
+            {"NormalWorld", ToBytes("linux 5.4.3 + storage engine v3")}};
+  }
+
+  DeviceManufacturer manufacturer_;
+  TrustZoneDevice device_;
+};
+
+TEST_F(TrustZoneTest, AttestationBeforeBootFails) {
+  EXPECT_EQ(device_.RespondToChallenge(Bytes(32, 0)).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(TrustZoneTest, AttestationSucceedsAfterBoot) {
+  device_.Boot(GoodImages());
+  Bytes challenge(32, 0x5A);
+  auto resp = device_.RespondToChallenge(challenge);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_TRUE(VerifyTzAttestation(manufacturer_.root_public_key(), "storage-1",
+                                  challenge, *resp)
+                  .ok());
+  EXPECT_EQ(resp->config.location, "eu-west-1");
+  EXPECT_EQ(resp->config.firmware_version, 3u);
+}
+
+TEST_F(TrustZoneTest, WrongChallengeRejected) {
+  device_.Boot(GoodImages());
+  auto resp = device_.RespondToChallenge(Bytes(32, 1));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_TRUE(VerifyTzAttestation(manufacturer_.root_public_key(), "storage-1",
+                                  Bytes(32, 2), *resp)
+                  .IsUnauthenticated());
+}
+
+TEST_F(TrustZoneTest, UncertifiedDeviceRejected) {
+  // A device provisioned by a different (attacker) manufacturer.
+  DeviceManufacturer attacker(ToBytes("evil-corp"));
+  TrustZoneDevice rogue(ToBytes("rogue"), attacker,
+                        StorageNodeConfig{"storage-1", "eu-west-1", 3});
+  rogue.Boot(GoodImages());
+  Bytes challenge(32, 7);
+  auto resp = rogue.RespondToChallenge(challenge);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_TRUE(VerifyTzAttestation(manufacturer_.root_public_key(), "storage-1",
+                                  challenge, *resp)
+                  .IsUnauthenticated());
+}
+
+TEST_F(TrustZoneTest, TamperedNormalWorldChangesMeasurement) {
+  device_.Boot(GoodImages());
+  Bytes good_hash = device_.normal_world_hash();
+
+  auto bad = GoodImages();
+  bad[2].second = ToBytes("linux 5.4.3 + TROJANED storage engine");
+  device_.Boot(bad);
+  EXPECT_NE(device_.normal_world_hash(), good_hash);
+
+  // The attestation still *verifies* (it is honest about what booted) —
+  // it is the monitor's measurement policy that must reject the hash.
+  Bytes challenge(32, 9);
+  auto resp = device_.RespondToChallenge(challenge);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_TRUE(VerifyTzAttestation(manufacturer_.root_public_key(), "storage-1",
+                                  challenge, *resp)
+                  .ok());
+  EXPECT_NE(resp->normal_world_hash, good_hash);
+}
+
+TEST_F(TrustZoneTest, ForgedCertChainRejected) {
+  device_.Boot(GoodImages());
+  Bytes challenge(32, 3);
+  auto resp = device_.RespondToChallenge(challenge);
+  ASSERT_TRUE(resp.ok());
+  // Attacker rewrites a measurement in the chain without re-signing.
+  resp->cert_chain[1].measurement = Bytes(32, 0xCC);
+  EXPECT_TRUE(VerifyTzAttestation(manufacturer_.root_public_key(), "storage-1",
+                                  challenge, *resp)
+                  .IsUnauthenticated());
+}
+
+TEST_F(TrustZoneTest, NodeIdMismatchRejected) {
+  device_.Boot(GoodImages());
+  Bytes challenge(32, 4);
+  auto resp = device_.RespondToChallenge(challenge);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_TRUE(VerifyTzAttestation(manufacturer_.root_public_key(),
+                                  "storage-OTHER", challenge, *resp)
+                  .IsUnauthenticated());
+}
+
+TEST_F(TrustZoneTest, HardwareKeysAreDeviceBoundAndStable) {
+  Bytes k1 = device_.DeriveHardwareKey("label", 32);
+  Bytes k2 = device_.DeriveHardwareKey("label", 32);
+  Bytes k3 = device_.DeriveHardwareKey("other", 32);
+  EXPECT_EQ(k1, k2);
+  EXPECT_NE(k1, k3);
+
+  TrustZoneDevice other(ToBytes("different-serial"), manufacturer_,
+                        StorageNodeConfig{"storage-2", "us-east-1", 3});
+  EXPECT_NE(other.DeriveHardwareKey("label", 32), k1);
+}
+
+}  // namespace
+}  // namespace ironsafe::tee
