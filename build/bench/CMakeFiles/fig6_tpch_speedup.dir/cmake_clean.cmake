@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_tpch_speedup.dir/fig6_tpch_speedup.cc.o"
+  "CMakeFiles/fig6_tpch_speedup.dir/fig6_tpch_speedup.cc.o.d"
+  "fig6_tpch_speedup"
+  "fig6_tpch_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_tpch_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig8_cost_breakdown.cc" "bench/CMakeFiles/fig8_cost_breakdown.dir/fig8_cost_breakdown.cc.o" "gcc" "bench/CMakeFiles/fig8_cost_breakdown.dir/fig8_cost_breakdown.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/ironsafe_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpch/CMakeFiles/ironsafe_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ironsafe_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/ironsafe_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/ironsafe_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/ironsafe_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/securestore/CMakeFiles/ironsafe_securestore.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/ironsafe_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ironsafe_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ironsafe_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ironsafe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ironsafe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_gdpr.dir/table3_gdpr.cc.o"
+  "CMakeFiles/table3_gdpr.dir/table3_gdpr.cc.o.d"
+  "table3_gdpr"
+  "table3_gdpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_gdpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

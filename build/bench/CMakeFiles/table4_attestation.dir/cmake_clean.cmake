@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_attestation.dir/table4_attestation.cc.o"
+  "CMakeFiles/table4_attestation.dir/table4_attestation.cc.o.d"
+  "table4_attestation"
+  "table4_attestation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_attestation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

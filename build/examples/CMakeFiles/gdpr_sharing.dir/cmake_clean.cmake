@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdpr_sharing.dir/gdpr_sharing.cpp.o"
+  "CMakeFiles/gdpr_sharing.dir/gdpr_sharing.cpp.o.d"
+  "gdpr_sharing"
+  "gdpr_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdpr_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

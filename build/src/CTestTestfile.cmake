@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("crypto")
+subdirs("sim")
+subdirs("tee")
+subdirs("storage")
+subdirs("securestore")
+subdirs("sql")
+subdirs("tpch")
+subdirs("net")
+subdirs("policy")
+subdirs("monitor")
+subdirs("engine")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ironsafe_common.dir/bytes.cc.o"
+  "CMakeFiles/ironsafe_common.dir/bytes.cc.o.d"
+  "CMakeFiles/ironsafe_common.dir/logging.cc.o"
+  "CMakeFiles/ironsafe_common.dir/logging.cc.o.d"
+  "CMakeFiles/ironsafe_common.dir/random.cc.o"
+  "CMakeFiles/ironsafe_common.dir/random.cc.o.d"
+  "CMakeFiles/ironsafe_common.dir/status.cc.o"
+  "CMakeFiles/ironsafe_common.dir/status.cc.o.d"
+  "libironsafe_common.a"
+  "libironsafe_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ironsafe_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

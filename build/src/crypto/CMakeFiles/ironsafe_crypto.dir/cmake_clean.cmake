@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ironsafe_crypto.dir/aead.cc.o"
+  "CMakeFiles/ironsafe_crypto.dir/aead.cc.o.d"
+  "CMakeFiles/ironsafe_crypto.dir/aes.cc.o"
+  "CMakeFiles/ironsafe_crypto.dir/aes.cc.o.d"
+  "CMakeFiles/ironsafe_crypto.dir/chacha20.cc.o"
+  "CMakeFiles/ironsafe_crypto.dir/chacha20.cc.o.d"
+  "CMakeFiles/ironsafe_crypto.dir/ed25519.cc.o"
+  "CMakeFiles/ironsafe_crypto.dir/ed25519.cc.o.d"
+  "CMakeFiles/ironsafe_crypto.dir/hmac.cc.o"
+  "CMakeFiles/ironsafe_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/ironsafe_crypto.dir/sha256.cc.o"
+  "CMakeFiles/ironsafe_crypto.dir/sha256.cc.o.d"
+  "CMakeFiles/ironsafe_crypto.dir/sha512.cc.o"
+  "CMakeFiles/ironsafe_crypto.dir/sha512.cc.o.d"
+  "libironsafe_crypto.a"
+  "libironsafe_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ironsafe_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

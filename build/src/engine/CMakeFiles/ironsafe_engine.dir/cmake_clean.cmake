@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ironsafe_engine.dir/csa_system.cc.o"
+  "CMakeFiles/ironsafe_engine.dir/csa_system.cc.o.d"
+  "CMakeFiles/ironsafe_engine.dir/ironsafe.cc.o"
+  "CMakeFiles/ironsafe_engine.dir/ironsafe.cc.o.d"
+  "CMakeFiles/ironsafe_engine.dir/partitioner.cc.o"
+  "CMakeFiles/ironsafe_engine.dir/partitioner.cc.o.d"
+  "libironsafe_engine.a"
+  "libironsafe_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ironsafe_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ironsafe_monitor.dir/audit_log.cc.o"
+  "CMakeFiles/ironsafe_monitor.dir/audit_log.cc.o.d"
+  "CMakeFiles/ironsafe_monitor.dir/monitor.cc.o"
+  "CMakeFiles/ironsafe_monitor.dir/monitor.cc.o.d"
+  "libironsafe_monitor.a"
+  "libironsafe_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ironsafe_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

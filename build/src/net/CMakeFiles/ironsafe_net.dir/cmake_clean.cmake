@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ironsafe_net.dir/secure_channel.cc.o"
+  "CMakeFiles/ironsafe_net.dir/secure_channel.cc.o.d"
+  "CMakeFiles/ironsafe_net.dir/wire.cc.o"
+  "CMakeFiles/ironsafe_net.dir/wire.cc.o.d"
+  "libironsafe_net.a"
+  "libironsafe_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ironsafe_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

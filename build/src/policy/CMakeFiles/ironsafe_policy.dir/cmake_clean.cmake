@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ironsafe_policy.dir/interpreter.cc.o"
+  "CMakeFiles/ironsafe_policy.dir/interpreter.cc.o.d"
+  "CMakeFiles/ironsafe_policy.dir/policy.cc.o"
+  "CMakeFiles/ironsafe_policy.dir/policy.cc.o.d"
+  "CMakeFiles/ironsafe_policy.dir/rewriter.cc.o"
+  "CMakeFiles/ironsafe_policy.dir/rewriter.cc.o.d"
+  "libironsafe_policy.a"
+  "libironsafe_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ironsafe_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

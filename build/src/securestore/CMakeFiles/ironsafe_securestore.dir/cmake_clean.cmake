@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ironsafe_securestore.dir/merkle_tree.cc.o"
+  "CMakeFiles/ironsafe_securestore.dir/merkle_tree.cc.o.d"
+  "CMakeFiles/ironsafe_securestore.dir/secure_store.cc.o"
+  "CMakeFiles/ironsafe_securestore.dir/secure_store.cc.o.d"
+  "libironsafe_securestore.a"
+  "libironsafe_securestore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ironsafe_securestore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ironsafe_sim.dir/cost_model.cc.o"
+  "CMakeFiles/ironsafe_sim.dir/cost_model.cc.o.d"
+  "libironsafe_sim.a"
+  "libironsafe_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ironsafe_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

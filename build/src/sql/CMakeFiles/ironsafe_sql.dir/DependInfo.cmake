@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/ast.cc" "src/sql/CMakeFiles/ironsafe_sql.dir/ast.cc.o" "gcc" "src/sql/CMakeFiles/ironsafe_sql.dir/ast.cc.o.d"
+  "/root/repo/src/sql/database.cc" "src/sql/CMakeFiles/ironsafe_sql.dir/database.cc.o" "gcc" "src/sql/CMakeFiles/ironsafe_sql.dir/database.cc.o.d"
+  "/root/repo/src/sql/eval.cc" "src/sql/CMakeFiles/ironsafe_sql.dir/eval.cc.o" "gcc" "src/sql/CMakeFiles/ironsafe_sql.dir/eval.cc.o.d"
+  "/root/repo/src/sql/executor.cc" "src/sql/CMakeFiles/ironsafe_sql.dir/executor.cc.o" "gcc" "src/sql/CMakeFiles/ironsafe_sql.dir/executor.cc.o.d"
+  "/root/repo/src/sql/page_store.cc" "src/sql/CMakeFiles/ironsafe_sql.dir/page_store.cc.o" "gcc" "src/sql/CMakeFiles/ironsafe_sql.dir/page_store.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/sql/CMakeFiles/ironsafe_sql.dir/parser.cc.o" "gcc" "src/sql/CMakeFiles/ironsafe_sql.dir/parser.cc.o.d"
+  "/root/repo/src/sql/schema.cc" "src/sql/CMakeFiles/ironsafe_sql.dir/schema.cc.o" "gcc" "src/sql/CMakeFiles/ironsafe_sql.dir/schema.cc.o.d"
+  "/root/repo/src/sql/table.cc" "src/sql/CMakeFiles/ironsafe_sql.dir/table.cc.o" "gcc" "src/sql/CMakeFiles/ironsafe_sql.dir/table.cc.o.d"
+  "/root/repo/src/sql/tokenizer.cc" "src/sql/CMakeFiles/ironsafe_sql.dir/tokenizer.cc.o" "gcc" "src/sql/CMakeFiles/ironsafe_sql.dir/tokenizer.cc.o.d"
+  "/root/repo/src/sql/value.cc" "src/sql/CMakeFiles/ironsafe_sql.dir/value.cc.o" "gcc" "src/sql/CMakeFiles/ironsafe_sql.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ironsafe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ironsafe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ironsafe_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/securestore/CMakeFiles/ironsafe_securestore.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/ironsafe_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ironsafe_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

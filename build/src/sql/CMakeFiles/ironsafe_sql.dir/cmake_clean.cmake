@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ironsafe_sql.dir/ast.cc.o"
+  "CMakeFiles/ironsafe_sql.dir/ast.cc.o.d"
+  "CMakeFiles/ironsafe_sql.dir/database.cc.o"
+  "CMakeFiles/ironsafe_sql.dir/database.cc.o.d"
+  "CMakeFiles/ironsafe_sql.dir/eval.cc.o"
+  "CMakeFiles/ironsafe_sql.dir/eval.cc.o.d"
+  "CMakeFiles/ironsafe_sql.dir/executor.cc.o"
+  "CMakeFiles/ironsafe_sql.dir/executor.cc.o.d"
+  "CMakeFiles/ironsafe_sql.dir/page_store.cc.o"
+  "CMakeFiles/ironsafe_sql.dir/page_store.cc.o.d"
+  "CMakeFiles/ironsafe_sql.dir/parser.cc.o"
+  "CMakeFiles/ironsafe_sql.dir/parser.cc.o.d"
+  "CMakeFiles/ironsafe_sql.dir/schema.cc.o"
+  "CMakeFiles/ironsafe_sql.dir/schema.cc.o.d"
+  "CMakeFiles/ironsafe_sql.dir/table.cc.o"
+  "CMakeFiles/ironsafe_sql.dir/table.cc.o.d"
+  "CMakeFiles/ironsafe_sql.dir/tokenizer.cc.o"
+  "CMakeFiles/ironsafe_sql.dir/tokenizer.cc.o.d"
+  "CMakeFiles/ironsafe_sql.dir/value.cc.o"
+  "CMakeFiles/ironsafe_sql.dir/value.cc.o.d"
+  "libironsafe_sql.a"
+  "libironsafe_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ironsafe_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ironsafe_storage.dir/block_device.cc.o"
+  "CMakeFiles/ironsafe_storage.dir/block_device.cc.o.d"
+  "libironsafe_storage.a"
+  "libironsafe_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ironsafe_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

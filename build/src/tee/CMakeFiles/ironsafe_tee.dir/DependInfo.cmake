@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tee/rpmb.cc" "src/tee/CMakeFiles/ironsafe_tee.dir/rpmb.cc.o" "gcc" "src/tee/CMakeFiles/ironsafe_tee.dir/rpmb.cc.o.d"
+  "/root/repo/src/tee/sgx.cc" "src/tee/CMakeFiles/ironsafe_tee.dir/sgx.cc.o" "gcc" "src/tee/CMakeFiles/ironsafe_tee.dir/sgx.cc.o.d"
+  "/root/repo/src/tee/trustzone.cc" "src/tee/CMakeFiles/ironsafe_tee.dir/trustzone.cc.o" "gcc" "src/tee/CMakeFiles/ironsafe_tee.dir/trustzone.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ironsafe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ironsafe_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ironsafe_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ironsafe_tee.dir/rpmb.cc.o"
+  "CMakeFiles/ironsafe_tee.dir/rpmb.cc.o.d"
+  "CMakeFiles/ironsafe_tee.dir/sgx.cc.o"
+  "CMakeFiles/ironsafe_tee.dir/sgx.cc.o.d"
+  "CMakeFiles/ironsafe_tee.dir/trustzone.cc.o"
+  "CMakeFiles/ironsafe_tee.dir/trustzone.cc.o.d"
+  "libironsafe_tee.a"
+  "libironsafe_tee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ironsafe_tee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

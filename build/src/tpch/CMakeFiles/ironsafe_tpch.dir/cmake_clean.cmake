@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ironsafe_tpch.dir/dbgen.cc.o"
+  "CMakeFiles/ironsafe_tpch.dir/dbgen.cc.o.d"
+  "CMakeFiles/ironsafe_tpch.dir/queries.cc.o"
+  "CMakeFiles/ironsafe_tpch.dir/queries.cc.o.d"
+  "libironsafe_tpch.a"
+  "libironsafe_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ironsafe_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

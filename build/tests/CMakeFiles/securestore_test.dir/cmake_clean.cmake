@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/securestore_test.dir/securestore_test.cc.o"
+  "CMakeFiles/securestore_test.dir/securestore_test.cc.o.d"
+  "securestore_test"
+  "securestore_test.pdb"
+  "securestore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/securestore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

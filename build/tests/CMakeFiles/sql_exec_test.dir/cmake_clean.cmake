@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_exec_test.dir/sql_exec_test.cc.o"
+  "CMakeFiles/sql_exec_test.dir/sql_exec_test.cc.o.d"
+  "sql_exec_test"
+  "sql_exec_test.pdb"
+  "sql_exec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
