@@ -1,6 +1,7 @@
 #ifndef IRONSAFE_BENCH_BENCH_UTIL_H_
 #define IRONSAFE_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -43,6 +44,25 @@ inline Result<std::unique_ptr<engine::CsaSystem>> MakeLoadedSystem(
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
+
+/// Real (wall-clock) elapsed time, reported alongside the simulated
+/// nanoseconds in every figure bench. Simulated results are machine- and
+/// thread-count-independent; the wall clock is what morsel parallelism
+/// actually improves.
+class WallClock {
+ public:
+  WallClock() : start_(std::chrono::steady_clock::now()) {}
+
+  double ms() const {
+    auto d = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double, std::milli>(d).count();
+  }
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 inline void Die(const Status& status) {
   std::fprintf(stderr, "bench failed: %s\n", status.ToString().c_str());

@@ -1,5 +1,8 @@
 #include "engine/csa_system.h"
 
+#include <algorithm>
+
+#include "common/thread_pool.h"
 #include "net/wire.h"
 #include "sql/parser.h"
 
@@ -25,34 +28,12 @@ void ConfigurablePageStore::ClearCache() {
   lru_.clear();
   cached_.clear();
   cache_hits_ = 0;
+  cache_evictions_ = 0;
 }
 
-Result<Bytes> ConfigurablePageStore::ReadPage(uint64_t id,
-                                              sim::CostModel* cost) {
-  // Page-cache hit: the decrypted page already sits in engine memory, so
-  // no device, network, enclave, or crypto work is charged.
-  if (cache_capacity_ > 0) {
-    auto it = cached_.find(id);
-    if (it != cached_.end()) {
-      lru_.erase(it->second);
-      lru_.push_front(id);
-      it->second = lru_.begin();
-      ++cache_hits_;
-      return inner_->ReadPage(id, nullptr);
-    }
-  }
-
+Result<Bytes> ConfigurablePageStore::ChargedRead(uint64_t id,
+                                                 sim::CostModel* cost) {
   ASSIGN_OR_RETURN(Bytes page, inner_->ReadPage(id, cost));
-  ++pages_read_;
-
-  if (cache_capacity_ > 0) {
-    lru_.push_front(id);
-    cached_[id] = lru_.begin();
-    if (cached_.size() > cache_capacity_) {
-      cached_.erase(lru_.back());
-      lru_.pop_back();
-    }
-  }
   if (remote_ && cost != nullptr) cost->ChargeNetworkBytes(page.size());
   if (enclave_ != nullptr) {
     // The enclave exits to fetch the page (SCONE-style ocall, §6.2).
@@ -77,11 +58,113 @@ Result<Bytes> ConfigurablePageStore::ReadPage(uint64_t id,
   return page;
 }
 
+void ConfigurablePageStore::EvictExcess() {
+  while (cache_capacity_ > 0 && cached_.size() > cache_capacity_ &&
+         !lru_.empty()) {
+    ++cache_evictions_;
+    cached_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+Result<Bytes> ConfigurablePageStore::ReadPage(uint64_t id,
+                                              sim::CostModel* cost) {
+  if (parallel_slots_ > 0) return ReadPageParallel(id, cost);
+
+  // Page-cache hit: the decrypted page already sits in engine memory, so
+  // no device, network, enclave, or crypto work is charged.
+  if (cache_capacity_ > 0) {
+    auto it = cached_.find(id);
+    if (it != cached_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      ++cache_hits_;
+      return it->second.data;
+    }
+  }
+
+  ASSIGN_OR_RETURN(Bytes page, ChargedRead(id, cost));
+  ++pages_read_;
+  if (cache_capacity_ > 0) {
+    auto [it, inserted] = cached_.try_emplace(id);
+    if (inserted) {
+      lru_.push_front(id);
+      it->second.lru_it = lru_.begin();
+      it->second.data = page;
+    }
+    EvictExcess();
+  }
+  return page;
+}
+
+Result<Bytes> ConfigurablePageStore::ReadPageParallel(uint64_t id,
+                                                      sim::CostModel* cost) {
+  // Accesses are filed under the calling task's slot; the bracket owner
+  // (slot -1, e.g. a scan running on the coordinating thread outside
+  // RunTasks) files under slot 0.
+  int slot = common::ThreadPool::current_slot();
+  if (slot < 0 || slot >= static_cast<int>(access_log_.size())) slot = 0;
+
+  if (cache_capacity_ > 0) {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = cached_.find(id);
+    if (it != cached_.end()) {
+      Bytes page = it->second.data;
+      lock.unlock();
+      access_log_[slot].push_back(PageAccess{id, /*hit=*/true});
+      return page;
+    }
+  }
+
+  ASSIGN_OR_RETURN(Bytes page, ChargedRead(id, cost));
+  if (cache_capacity_ > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = cached_.try_emplace(id);
+    if (inserted) {
+      lru_.push_front(id);
+      it->second.lru_it = lru_.begin();
+      it->second.data = page;
+    }
+  }
+  access_log_[slot].push_back(PageAccess{id, /*hit=*/false});
+  return page;
+}
+
+void ConfigurablePageStore::BeginParallelRead(int slots) {
+  parallel_slots_ = std::max(1, slots);
+  access_log_.assign(parallel_slots_, {});
+}
+
+void ConfigurablePageStore::EndParallelRead() {
+  // Replay the recorded accesses in task order — the order the
+  // equivalent serial scan produces — so LRU recency, the hit/read
+  // counters and evictions are independent of the real thread schedule.
+  // Eviction is deferred to the end of the bracket: during the scan
+  // every fetched page stays resident (morsel ranges are disjoint, each
+  // page is touched once), so the frozen cache is also a correct
+  // working set.
+  for (const auto& log : access_log_) {
+    for (const PageAccess& a : log) {
+      if (a.hit) {
+        ++cache_hits_;
+      } else {
+        ++pages_read_;
+      }
+      auto it = cached_.find(a.id);
+      if (it != cached_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      }
+    }
+  }
+  EvictExcess();
+  access_log_.clear();
+  parallel_slots_ = 0;
+}
+
 Status ConfigurablePageStore::WritePage(uint64_t id, const Bytes& page,
                                         sim::CostModel* cost) {
   auto it = cached_.find(id);
   if (it != cached_.end()) {
-    lru_.erase(it->second);
+    lru_.erase(it->second.lru_it);
     cached_.erase(it);
   }
   if (remote_ && cost != nullptr) cost->ChargeNetworkBytes(page.size());
@@ -185,7 +268,8 @@ Result<QueryOutcome> CsaSystem::RunHostOnly(const std::string& sql,
     host_enclave_->ClearMemory();
   }
 
-  sql::ExecOptions opts;  // host site, single query thread
+  sql::ExecOptions opts;  // host site
+  opts.parallelism = options_.host_parallelism;
   auto result = db->Execute(sql, &outcome.cost, opts);
 
   access->set_remote(false);

@@ -2,9 +2,11 @@
 #define IRONSAFE_ENGINE_CSA_SYSTEM_H_
 
 #include <list>
-#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "engine/partitioner.h"
 #include "net/secure_channel.h"
@@ -43,6 +45,11 @@ struct CsaOptions {
   /// Enables whole-query (aggregation) pushdown in the partitioner —
   /// the paper's §8 future work, exercised by the ablation bench.
   bool aggregation_pushdown = false;
+  /// Query fan-out of the host engine in the host-only configurations
+  /// (simulated ways and real morsel workers alike); the storage engine's
+  /// fan-out is `storage_cores`. The paper's host-only baselines run one
+  /// query thread, so the default stays 1.
+  int host_parallelism = 1;
 };
 
 /// Everything measured about one query execution.
@@ -72,9 +79,12 @@ class ConfigurablePageStore : public sql::PageStore {
   /// its (enclave or storage-application) memory — re-reads of cached
   /// pages skip disk, network, and crypto. This is what the storage
   /// memory budget of Figure 11 buys. Cleared per query (cold cache).
+  /// The cache stores the decrypted page bytes, so hits never touch the
+  /// inner store.
   void set_cache_bytes(uint64_t bytes) { cache_capacity_ = bytes / 4096; }
   void ClearCache();
   uint64_t cache_hits() const { return cache_hits_; }
+  uint64_t cache_evictions() const { return cache_evictions_; }
 
   /// When reads run inside the enclave, each page verification walks the
   /// Merkle path: one node per level, plus the data page itself. With an
@@ -95,10 +105,36 @@ class ConfigurablePageStore : public sql::PageStore {
   void BeginBatch() override { inner_->BeginBatch(); }
   Status EndBatch() override { return inner_->EndBatch(); }
 
+  /// Morsel-scan bracket (see sql::PageStore). Between the two calls
+  /// ReadPage may run concurrently from disjoint-range tasks; cache
+  /// lookups go against a mutex-guarded frozen-but-growing cache and the
+  /// per-task accesses are logged, then replayed in task order at
+  /// EndParallelRead so LRU recency, hit/read counters and evictions are
+  /// bit-identical for every worker count (including 1: the executor
+  /// brackets every base-table scan).
+  void BeginParallelRead(int slots) override;
+  void EndParallelRead() override;
+
   uint64_t pages_read() const { return pages_read_; }
   void ResetCounters() { pages_read_ = 0; }
 
  private:
+  struct CacheEntry {
+    std::list<uint64_t>::iterator lru_it;
+    Bytes data;
+  };
+  struct PageAccess {
+    uint64_t id;
+    bool hit;
+  };
+
+  /// One uncached page fetch: inner store plus the configured network /
+  /// enclave access charges. Const-safe under concurrency (workers pass
+  /// private cost slices; the secure read path mutates nothing).
+  Result<Bytes> ChargedRead(uint64_t id, sim::CostModel* cost);
+  Result<Bytes> ReadPageParallel(uint64_t id, sim::CostModel* cost);
+  void EvictExcess();
+
   sql::PageStore* inner_;
   bool remote_ = false;
   tee::SgxEnclave* enclave_ = nullptr;
@@ -108,8 +144,16 @@ class ConfigurablePageStore : public sql::PageStore {
 
   uint64_t cache_capacity_ = 0;  // pages; 0 disables caching
   uint64_t cache_hits_ = 0;
-  std::list<uint64_t> lru_;
-  std::map<uint64_t, std::list<uint64_t>::iterator> cached_;
+  uint64_t cache_evictions_ = 0;
+  std::list<uint64_t> lru_;  // front = most recently used
+  std::unordered_map<uint64_t, CacheEntry> cached_;
+
+  // Parallel-read bracket state. `mu_` guards lru_/cached_ insertions
+  // while a bracket is open; access_log_[slot] is written only by the
+  // task holding that slot.
+  std::mutex mu_;
+  int parallel_slots_ = 0;
+  std::vector<std::vector<PageAccess>> access_log_;
 };
 
 /// The simulated heterogeneous testbed: an SGX host plus a TrustZone
@@ -139,6 +183,7 @@ class CsaSystem {
   void set_aggregation_pushdown(bool on) {
     options_.aggregation_pushdown = on;
   }
+  void set_host_parallelism(int n) { options_.host_parallelism = n; }
   sql::Database* plain_db() { return plain_db_.get(); }
   sql::Database* secure_db() { return secure_db_.get(); }
   tee::SgxEnclave* host_enclave() { return host_enclave_.get(); }

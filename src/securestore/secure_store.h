@@ -81,7 +81,10 @@ class SecureStore {
                    sim::CostModel* cost = nullptr);
 
   /// Reads and verifies a page: HMAC check, Merkle path to the trusted
-  /// root, then decrypt. Any tampering yields Corruption.
+  /// root, then decrypt. Any tampering yields Corruption. Safe to call
+  /// concurrently with other reads — the verify/decrypt path only reads
+  /// store state, and each caller charges its own `cost` model (morsel
+  /// workers pass private slices). Concurrent writes are not supported.
   Result<Bytes> ReadPage(uint64_t index, sim::CostModel* cost = nullptr);
 
   /// Batch mode defers metadata persistence and the RPMB root commit to

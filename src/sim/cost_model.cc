@@ -34,6 +34,16 @@ void CostModel::ChargeDiskRead(uint64_t bytes) {
   disk_bytes_ += bytes;
 }
 
+void CostModel::ChargeDiskWrite(uint64_t bytes) {
+  SimNanos ns = profile_.nvme.latency_ns / kReadaheadPages +
+                static_cast<SimNanos>(static_cast<double>(bytes) /
+                                      profile_.nvme.bytes_per_second * 1e9);
+  disk_ns_ += ns;
+  total_ns_ += ns;
+  disk_bytes_ += bytes;
+  disk_write_bytes_ += bytes;
+}
+
 void CostModel::ChargeNetwork(uint64_t bytes) {
   SimNanos ns = profile_.network.latency_ns +
                 static_cast<SimNanos>(static_cast<double>(bytes) /
@@ -101,11 +111,29 @@ void CostModel::ChargeMerkleNodes(Site site, uint64_t nodes) {
   total_ns_ += ns;
 }
 
+void CostModel::MergeChild(const CostModel& child) {
+  total_ns_ += child.total_ns_;
+  compute_ns_ += child.compute_ns_;
+  disk_ns_ += child.disk_ns_;
+  network_ns_ += child.network_ns_;
+  transition_ns_ += child.transition_ns_;
+  epc_fault_ns_ += child.epc_fault_ns_;
+  decrypt_ns_ += child.decrypt_ns_;
+  freshness_ns_ += child.freshness_ns_;
+  fixed_ns_ += child.fixed_ns_;
+  transitions_ += child.transitions_;
+  epc_faults_ += child.epc_faults_;
+  disk_bytes_ += child.disk_bytes_;
+  disk_write_bytes_ += child.disk_write_bytes_;
+  network_bytes_ += child.network_bytes_;
+  pages_decrypted_ += child.pages_decrypted_;
+}
+
 void CostModel::Reset() {
   total_ns_ = compute_ns_ = disk_ns_ = network_ns_ = 0;
   transition_ns_ = epc_fault_ns_ = decrypt_ns_ = freshness_ns_ = fixed_ns_ = 0;
   transitions_ = epc_faults_ = 0;
-  disk_bytes_ = network_bytes_ = pages_decrypted_ = 0;
+  disk_bytes_ = disk_write_bytes_ = network_bytes_ = pages_decrypted_ = 0;
 }
 
 std::string CostModel::Summary() const {

@@ -18,12 +18,16 @@ struct CpuProfile {
   double ghz = 3.7;
   int cores = 10;
   double ipc_factor = 1.0;
+
+  bool operator==(const CpuProfile&) const = default;
 };
 
 /// I/O device / link description.
 struct LinkProfile {
   double bytes_per_second = 0;
   SimNanos latency_ns = 0;  ///< per message / per IO-batch setup cost
+
+  bool operator==(const LinkProfile&) const = default;
 };
 
 /// SGX-specific constants (paper §6.3 and published SGX measurements).
@@ -35,6 +39,8 @@ struct SgxProfile {
   /// measurements put this at ~25-40 µs (≈100k cycles at 3.7 GHz).
   uint64_t epc_fault_cycles = 100000;
   double mee_slowdown = 1.2;                 ///< memory-encryption factor
+
+  bool operator==(const SgxProfile&) const = default;
 };
 
 /// The full simulated testbed, mirroring the paper's §6.1 hardware.
@@ -53,6 +59,8 @@ struct HardwareProfile {
   uint64_t merkle_node_cycles = 25000;
 
   static HardwareProfile Paper() { return HardwareProfile{}; }
+
+  bool operator==(const HardwareProfile&) const = default;
 };
 
 /// Where work executes; selects the CPU profile used for cycle costs.
@@ -88,6 +96,11 @@ class CostModel {
   /// readahead, so the device latency is amortized over kReadaheadPages.
   void ChargeDiskRead(uint64_t bytes);
 
+  /// Charges a disk write of `bytes` (spill-out, page flushes). Writes
+  /// stream through the device write buffer, so the setup latency is
+  /// amortized exactly like readahead on the read side.
+  void ChargeDiskWrite(uint64_t bytes);
+
   /// Charges a network transfer of `bytes` (one message latency + bandwidth).
   void ChargeNetwork(uint64_t bytes);
 
@@ -115,6 +128,15 @@ class CostModel {
   void ChargePageMacVerify(Site site);
   void ChargeMerkleNodes(Site site, uint64_t nodes);
 
+  /// Folds a worker's privately accumulated slice into this model by
+  /// summing every bucket and counter. Each charge converts cycles/bytes
+  /// to integer nanoseconds independently, so merging N slices — in any
+  /// grouping and any order — yields bit-identical totals to charging
+  /// the same events on one model. This is the determinism anchor for
+  /// morsel-parallel execution: real thread count never changes the
+  /// simulated account. `child` must share this model's profile.
+  void MergeChild(const CostModel& child);
+
   // ---- Readout ----
 
   SimNanos elapsed_ns() const { return total_ns_; }
@@ -133,10 +155,13 @@ class CostModel {
   uint64_t enclave_transitions() const { return transitions_; }
   uint64_t epc_faults() const { return epc_faults_; }
   uint64_t disk_bytes() const { return disk_bytes_; }
+  uint64_t disk_write_bytes() const { return disk_write_bytes_; }
   uint64_t network_bytes() const { return network_bytes_; }
   uint64_t pages_decrypted() const { return pages_decrypted_; }
 
   void Reset();
+
+  bool operator==(const CostModel&) const = default;
 
   /// Human-readable one-line summary for logs.
   std::string Summary() const;
@@ -160,7 +185,8 @@ class CostModel {
 
   uint64_t transitions_ = 0;
   uint64_t epc_faults_ = 0;
-  uint64_t disk_bytes_ = 0;
+  uint64_t disk_bytes_ = 0;       // all disk traffic (reads + writes)
+  uint64_t disk_write_bytes_ = 0;
   uint64_t network_bytes_ = 0;
   uint64_t pages_decrypted_ = 0;
 };

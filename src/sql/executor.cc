@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <map>
+#include <optional>
 #include <set>
 #include <unordered_map>
 
+#include "common/thread_pool.h"
 #include "sql/database.h"
 
 namespace ironsafe::sql {
@@ -21,6 +24,13 @@ constexpr uint64_t kJoinProbeCycles = 220;
 constexpr uint64_t kAggUpdateCycles = 200;
 constexpr uint64_t kSortCmpCycles = 90;
 constexpr uint64_t kProjectCycles = 120;
+
+// Fan-out floors: below these per-worker shares, morsel overhead beats
+// the parallel win, so the planner shrinks the worker count. Partition
+// boundaries depend only on (work size, worker count), never on thread
+// scheduling.
+constexpr uint64_t kMinScanUnitsPerWorker = 2;
+constexpr uint64_t kMinJoinRowsPerWorker = 512;
 
 struct RelData {
   Schema schema;
@@ -98,7 +108,7 @@ struct Ctx {
       if (stats != nullptr) stats->spill_bytes += overflow;
       if (cost != nullptr) {
         // Spill: write the overflow out and read it back.
-        cost->ChargeDiskRead(overflow);
+        cost->ChargeDiskWrite(overflow);
         cost->ChargeDiskRead(overflow);
       }
     }
@@ -315,13 +325,117 @@ Bytes KeyOf(const std::vector<Value>& values) {
   return key;
 }
 
+// ---- Parallel execution helpers ----
+
+/// Number of workers for a parallelizable stage of `work` units. The
+/// result depends only on the requested fan-out, the pool's worker cap
+/// and the work size — never on thread scheduling — so the partition
+/// (and therefore row order and merged cost) is reproducible.
+int PlanWorkers(const Ctx& ctx, uint64_t work, uint64_t min_per_worker) {
+  int workers = common::ThreadPool::EffectiveWorkers(ctx.opts.parallelism);
+  if (min_per_worker > 0) {
+    uint64_t fit = std::max<uint64_t>(1, work / min_per_worker);
+    workers = static_cast<int>(
+        std::min<uint64_t>(static_cast<uint64_t>(workers), fit));
+  }
+  return std::max(1, workers);
+}
+
+/// Private result of one scan worker; merged into the query state in
+/// worker order after the pool drains.
+struct ScanSlice {
+  std::vector<Row> rows;
+  uint64_t rows_scanned = 0;
+  uint64_t cycles = 0;
+  std::optional<sim::CostModel> cost;
+  Status status = Status::OK();
+};
+
+/// Morsel-driven parallel scan of a base table: the table's morsel units
+/// are split into one contiguous range per worker, each worker scans its
+/// range with a private cursor, evaluator and cost slice, and the slices
+/// are merged in range order. Concatenation order equals NewCursor order
+/// and the merged charges equal the serial charges exactly (cycle counts
+/// sum; per-event ns conversion commutes under addition), so results,
+/// ExecStats and simulated cost are bit-identical for any worker count.
+Status ScanTableMorsels(Ctx* ctx, Table* table,
+                        const std::vector<const Expr*>& filters,
+                        RelData* rel) {
+  uint64_t units = table->morsel_units();
+  int workers = PlanWorkers(*ctx, units, kMinScanUnitsPerWorker);
+  std::vector<ScanSlice> slices(workers);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(workers);
+  const Schema* schema = &rel->schema;
+  const EvalScope* outer = ctx->outer;
+  for (int w = 0; w < workers; ++w) {
+    uint64_t begin = units * w / workers;
+    uint64_t end = units * (w + 1) / workers;
+    ScanSlice* slice = &slices[w];
+    if (ctx->cost != nullptr) slice->cost.emplace(ctx->cost->profile());
+    tasks.push_back([table, schema, outer, &filters, begin, end, slice] {
+      sim::CostModel* wcost = slice->cost ? &*slice->cost : nullptr;
+      auto cursor = table->NewMorselCursor(begin, end, wcost);
+      // Pushed-down filters are subquery-free by construction, so a
+      // runner-less evaluator matches the shared one bit for bit.
+      Evaluator eval(nullptr);
+      Row row;
+      while (true) {
+        Result<bool> more = cursor->Next(&row);
+        if (!more.ok()) {
+          slice->status = more.status();
+          return;
+        }
+        if (!*more) return;
+        ++slice->rows_scanned;
+        slice->cycles += kScanRowCycles;
+        EvalScope scope{schema, &row, outer};
+        bool keep = true;
+        for (const Expr* f : filters) {
+          slice->cycles += kFilterCycles;
+          Result<bool> ok = eval.EvalBool(*f, scope);
+          if (!ok.ok()) {
+            slice->status = ok.status();
+            return;
+          }
+          if (!*ok) {
+            keep = false;
+            break;
+          }
+        }
+        if (keep) slice->rows.push_back(std::move(row));
+      }
+    });
+  }
+
+  // Bracket the scan even single-threaded so page-cache semantics do not
+  // depend on the worker count.
+  table->BeginParallelScan(workers);
+  common::ThreadPool::Shared().RunTasks(tasks);
+  table->EndParallelScan();
+
+  size_t total = rel->rows.size();
+  for (const ScanSlice& s : slices) total += s.rows.size();
+  rel->rows.reserve(total);
+  for (ScanSlice& s : slices) {
+    RETURN_IF_ERROR(s.status);
+    if (ctx->stats != nullptr) ctx->stats->rows_scanned += s.rows_scanned;
+    ctx->Charge(s.cycles);
+    if (ctx->cost != nullptr && s.cost.has_value()) {
+      ctx->cost->MergeChild(*s.cost);
+    }
+    for (Row& r : s.rows) rel->rows.push_back(std::move(r));
+  }
+  return Status::OK();
+}
+
 // ---- Scan ----
 
 Result<RelData> ScanRelation(Ctx* ctx, const TableRef& ref,
                              std::vector<ConjunctInfo>* conjuncts) {
   RelData rel;
   std::vector<Row> source_rows;
-  const Table* table = nullptr;
+  Table* table = nullptr;
   if (ref.subquery) {
     // Derived table: execute and re-qualify its output by the alias.
     ASSIGN_OR_RETURN(QueryResult sub,
@@ -361,12 +475,17 @@ Result<RelData> ScanRelation(Ctx* ctx, const TableRef& ref,
   };
 
   if (table != nullptr) {
-    auto cursor = table->NewCursor(ctx->cost);
-    Row row;
-    while (true) {
-      ASSIGN_OR_RETURN(bool more, cursor->Next(&row));
-      if (!more) break;
-      RETURN_IF_ERROR(consume(row).status());
+    if (table->morsel_units() > 0) {
+      RETURN_IF_ERROR(ScanTableMorsels(ctx, table, filters, &rel));
+    } else {
+      // Empty table or no morsel support: plain serial cursor.
+      auto cursor = table->NewCursor(ctx->cost);
+      Row row;
+      while (true) {
+        ASSIGN_OR_RETURN(bool more, cursor->Next(&row));
+        if (!more) break;
+        RETURN_IF_ERROR(consume(row).status());
+      }
     }
   } else {
     for (Row& row : source_rows) {
@@ -382,6 +501,63 @@ struct EquiKey {
   const Expr* left_expr;   // resolves against the left schema
   const Expr* right_expr;  // resolves against the right schema
 };
+
+/// Evaluates the equi-join key expressions for every row of `rel` into a
+/// serialized-key vector, splitting the rows into one contiguous range
+/// per worker. Key expressions are pure column/arithmetic expressions
+/// (subquery conjuncts never become equi-keys), so workers evaluate with
+/// private runner-less evaluators and write to disjoint slots of the
+/// preallocated output; per-row cycles are summed per worker and charged
+/// once, identical to the serial account. Hash-table insertion and
+/// probing stay serial in table order.
+Result<std::vector<Bytes>> ComputeJoinKeys(Ctx* ctx, const RelData& rel,
+                                           const std::vector<const Expr*>& exprs,
+                                           uint64_t per_row_cycles) {
+  struct KeySlice {
+    uint64_t cycles = 0;
+    Status status = Status::OK();
+  };
+  size_t n = rel.rows.size();
+  std::vector<Bytes> out(n);
+  int workers = PlanWorkers(*ctx, n, kMinJoinRowsPerWorker);
+  std::vector<KeySlice> slices(workers);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(workers);
+  const Schema* schema = &rel.schema;
+  const std::vector<Row>* rows = &rel.rows;
+  const EvalScope* outer = ctx->outer;
+  for (int w = 0; w < workers; ++w) {
+    size_t lo = n * w / workers;
+    size_t hi = n * (w + 1) / workers;
+    KeySlice* slice = &slices[w];
+    tasks.push_back(
+        [&out, &exprs, rows, schema, outer, lo, hi, slice, per_row_cycles] {
+          Evaluator eval(nullptr);
+          std::vector<Value> kv;
+          for (size_t i = lo; i < hi; ++i) {
+            slice->cycles += per_row_cycles;
+            EvalScope scope{schema, &(*rows)[i], outer};
+            kv.clear();
+            kv.reserve(exprs.size());
+            for (const Expr* e : exprs) {
+              Result<Value> v = eval.Eval(*e, scope);
+              if (!v.ok()) {
+                slice->status = v.status();
+                return;
+              }
+              kv.push_back(std::move(*v));
+            }
+            out[i] = KeyOf(kv);
+          }
+        });
+  }
+  common::ThreadPool::Shared().RunTasks(tasks);
+  for (const KeySlice& s : slices) {
+    RETURN_IF_ERROR(s.status);
+    ctx->Charge(s.cycles);
+  }
+  return out;
+}
 
 Result<RelData> JoinRelations(Ctx* ctx, RelData left, RelData right,
                               std::vector<ConjunctInfo>* conjuncts,
@@ -446,38 +622,40 @@ Result<RelData> JoinRelations(Ctx* ctx, RelData left, RelData right,
   };
 
   if (!keys.empty()) {
-    // Hash join; build on the smaller input (right by default).
+    // Hash join; build on the smaller input (right by default). Key
+    // evaluation — the per-row CPU work — runs morsel-parallel; the
+    // insert/probe/emit passes stay serial in table order (residual
+    // predicates may contain subqueries), preserving output order.
     bool build_right = RelBytes(right) <= RelBytes(left);
     const RelData& build = build_right ? right : left;
     const RelData& probe = build_right ? left : right;
 
+    std::vector<const Expr*> build_exprs, probe_exprs;
+    build_exprs.reserve(keys.size());
+    probe_exprs.reserve(keys.size());
+    for (const EquiKey& k : keys) {
+      build_exprs.push_back(build_right ? k.right_expr : k.left_expr);
+      probe_exprs.push_back(build_right ? k.left_expr : k.right_expr);
+    }
+
+    ASSIGN_OR_RETURN(
+        std::vector<Bytes> build_keys,
+        ComputeJoinKeys(ctx, build, build_exprs, kJoinBuildCycles));
     std::unordered_map<std::string, std::vector<size_t>> table;
     table.reserve(build.rows.size());
     for (size_t i = 0; i < build.rows.size(); ++i) {
-      ctx->Charge(kJoinBuildCycles);
-      std::vector<Value> kv;
-      EvalScope scope{&build.schema, &build.rows[i], ctx->outer};
-      for (const EquiKey& k : keys) {
-        const Expr* e = build_right ? k.right_expr : k.left_expr;
-        ASSIGN_OR_RETURN(Value v, ctx->eval->Eval(*e, scope));
-        kv.push_back(std::move(v));
-      }
-      Bytes key = KeyOf(kv);
-      table[std::string(key.begin(), key.end())].push_back(i);
+      table[std::string(build_keys[i].begin(), build_keys[i].end())]
+          .push_back(i);
     }
     ctx->TrackMemory(RelBytes(build));
 
-    for (const Row& prow : probe.rows) {
-      ctx->Charge(kJoinProbeCycles);
-      std::vector<Value> kv;
-      EvalScope scope{&probe.schema, &prow, ctx->outer};
-      for (const EquiKey& k : keys) {
-        const Expr* e = build_right ? k.left_expr : k.right_expr;
-        ASSIGN_OR_RETURN(Value v, ctx->eval->Eval(*e, scope));
-        kv.push_back(std::move(v));
-      }
-      Bytes key = KeyOf(kv);
-      auto it = table.find(std::string(key.begin(), key.end()));
+    ASSIGN_OR_RETURN(
+        std::vector<Bytes> probe_keys,
+        ComputeJoinKeys(ctx, probe, probe_exprs, kJoinProbeCycles));
+    for (size_t pi = 0; pi < probe.rows.size(); ++pi) {
+      const Row& prow = probe.rows[pi];
+      auto it = table.find(
+          std::string(probe_keys[pi].begin(), probe_keys[pi].end()));
       if (it == table.end()) continue;
       for (size_t bi : it->second) {
         const Row& l = build_right ? prow : build.rows[bi];

@@ -15,8 +15,13 @@ class Database;
 /// Execution knobs. `site` decides which simulated CPU is charged for
 /// operator work; `memory_cap_bytes` models the storage server's memory
 /// limit (paper Figure 11) — working sets beyond it pay spill I/O;
-/// `parallelism` is the scan fan-out (capped by the site's core count,
-/// paper Figure 10).
+/// `parallelism` is the query fan-out: it sets the simulated ways of
+/// ChargeParallelCycles (capped by the site's core count, paper
+/// Figure 10) AND the requested real worker count for morsel-parallel
+/// scans and join key evaluation. The real fan-out is additionally
+/// capped by the machine / ThreadPool::set_max_workers, and by design
+/// the real worker count never changes results, stats, or simulated
+/// cost — only wall-clock time.
 struct ExecOptions {
   sim::Site site = sim::Site::kHost;
   uint64_t memory_cap_bytes = UINT64_MAX;
@@ -29,6 +34,8 @@ struct ExecStats {
   uint64_t rows_output = 0;
   uint64_t peak_memory_bytes = 0;
   uint64_t spill_bytes = 0;
+
+  bool operator==(const ExecStats&) const = default;
 };
 
 /// Executes a SELECT against `db`. `outer` is the correlation scope for

@@ -33,6 +33,17 @@ class PageStore {
   /// Bulk-load bracket (secure stores defer their root commit).
   virtual void BeginBatch() {}
   virtual Status EndBatch() { return Status::OK(); }
+
+  /// Morsel-scan bracket. Between BeginParallelRead and EndParallelRead
+  /// the executor may call ReadPage concurrently from up to `slots`
+  /// tasks (one disjoint page range each; WritePage is not allowed).
+  /// Stores with mutable read-path state (caches, counters) override
+  /// this to defer those updates and replay them in task order at
+  /// EndParallelRead, so cache contents and counters end up independent
+  /// of the real thread schedule. Stateless stores need nothing: their
+  /// read paths are const-safe under concurrency.
+  virtual void BeginParallelRead(int slots) { (void)slots; }
+  virtual void EndParallelRead() {}
 };
 
 /// Plaintext pages on an untrusted block device (the non-secure baselines
@@ -94,6 +105,10 @@ class RemotePageStore : public PageStore {
   uint64_t num_pages() const override { return inner_->num_pages(); }
   void BeginBatch() override { inner_->BeginBatch(); }
   Status EndBatch() override { return inner_->EndBatch(); }
+  void BeginParallelRead(int slots) override {
+    inner_->BeginParallelRead(slots);
+  }
+  void EndParallelRead() override { inner_->EndParallelRead(); }
 
  private:
   PageStore* inner_;

@@ -1,5 +1,7 @@
 #include "sql/table.h"
 
+#include <algorithm>
+
 namespace ironsafe::sql {
 
 // ------------------------------------------------------ MemoryTable ----
@@ -7,17 +9,19 @@ namespace ironsafe::sql {
 namespace {
 class MemoryTableCursor : public TableCursor {
  public:
-  explicit MemoryTableCursor(const std::vector<Row>* rows) : rows_(rows) {}
+  MemoryTableCursor(const std::vector<Row>* rows, size_t begin, size_t end)
+      : rows_(rows), pos_(begin), end_(end) {}
 
   Result<bool> Next(Row* row) override {
-    if (pos_ >= rows_->size()) return false;
+    if (pos_ >= end_) return false;
     *row = (*rows_)[pos_++];
     return true;
   }
 
  private:
   const std::vector<Row>* rows_;
-  size_t pos_ = 0;
+  size_t pos_;
+  size_t end_;
 };
 }  // namespace
 
@@ -33,7 +37,19 @@ Status MemoryTable::Append(const Row& row, sim::CostModel* cost) {
 std::unique_ptr<TableCursor> MemoryTable::NewCursor(
     sim::CostModel* cost) const {
   (void)cost;
-  return std::make_unique<MemoryTableCursor>(&rows_);
+  return std::make_unique<MemoryTableCursor>(&rows_, 0, rows_.size());
+}
+
+uint64_t MemoryTable::morsel_units() const {
+  return (rows_.size() + kRowsPerMorsel - 1) / kRowsPerMorsel;
+}
+
+std::unique_ptr<TableCursor> MemoryTable::NewMorselCursor(
+    uint64_t begin, uint64_t end, sim::CostModel* cost) const {
+  (void)cost;
+  size_t row_begin = std::min<size_t>(begin * kRowsPerMorsel, rows_.size());
+  size_t row_end = std::min<size_t>(end * kRowsPerMorsel, rows_.size());
+  return std::make_unique<MemoryTableCursor>(&rows_, row_begin, row_end);
 }
 
 uint64_t MemoryTable::page_count() const {
@@ -107,11 +123,20 @@ Status PagedTable::Append(const Row& row, sim::CostModel* cost) {
 }
 
 namespace {
+/// Scans flushed pages [page_begin, page_end) of the page-id list; the
+/// index one past the last flushed page addresses the unflushed buffer,
+/// so a full-range cursor ([0, page_count)) reproduces table order.
 class PagedTableCursor : public TableCursor {
  public:
   PagedTableCursor(PageStore* store, const std::vector<uint64_t>* pages,
-                   const std::vector<Bytes>* buffer, sim::CostModel* cost)
-      : store_(store), pages_(pages), buffer_(buffer), cost_(cost) {}
+                   const std::vector<Bytes>* buffer, size_t page_begin,
+                   size_t page_end, sim::CostModel* cost)
+      : store_(store),
+        pages_(pages),
+        buffer_(buffer),
+        page_index_(page_begin),
+        page_end_(page_end),
+        cost_(cost) {}
 
   Result<bool> Next(Row* row) override {
     while (true) {
@@ -121,7 +146,7 @@ class PagedTableCursor : public TableCursor {
         --rows_left_;
         return true;
       }
-      if (page_index_ < pages_->size()) {
+      if (page_index_ < std::min(page_end_, pages_->size())) {
         ASSIGN_OR_RETURN(current_page_,
                          store_->ReadPage((*pages_)[page_index_++], cost_));
         reader_.emplace(current_page_);
@@ -129,8 +154,8 @@ class PagedTableCursor : public TableCursor {
         rows_left_ = n;
         continue;
       }
-      // Unflushed buffered rows.
-      if (buffer_pos_ < buffer_->size()) {
+      // Unflushed buffered rows (the trailing pseudo-page).
+      if (page_end_ > pages_->size() && buffer_pos_ < buffer_->size()) {
         ByteReader r((*buffer_)[buffer_pos_++]);
         ASSIGN_OR_RETURN(Row rr, DeserializeRow(&r));
         *row = std::move(rr);
@@ -144,8 +169,9 @@ class PagedTableCursor : public TableCursor {
   PageStore* store_;
   const std::vector<uint64_t>* pages_;
   const std::vector<Bytes>* buffer_;
+  size_t page_index_;
+  size_t page_end_;
   sim::CostModel* cost_;
-  size_t page_index_ = 0;
   Bytes current_page_;
   std::optional<ByteReader> reader_;
   uint16_t rows_left_ = 0;
@@ -155,8 +181,14 @@ class PagedTableCursor : public TableCursor {
 
 std::unique_ptr<TableCursor> PagedTable::NewCursor(
     sim::CostModel* cost) const {
+  return std::make_unique<PagedTableCursor>(store_, &page_ids_, &buffer_, 0,
+                                            page_count(), cost);
+}
+
+std::unique_ptr<TableCursor> PagedTable::NewMorselCursor(
+    uint64_t begin, uint64_t end, sim::CostModel* cost) const {
   return std::make_unique<PagedTableCursor>(store_, &page_ids_, &buffer_,
-                                            cost);
+                                            begin, end, cost);
 }
 
 Status PagedTable::Rewrite(const std::function<Result<bool>(Row*, bool*)>& fn,

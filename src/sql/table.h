@@ -35,6 +35,27 @@ class Table {
   virtual uint64_t row_count() const = 0;
   virtual uint64_t page_count() const = 0;
 
+  /// Morsel-driven scan support. A table is divided into `morsel_units`
+  /// equally scannable units (pages for paged tables, row blocks for
+  /// memory tables); NewMorselCursor yields the rows of units
+  /// [begin, end) in table order, so concatenating the cursors of a
+  /// contiguous partition reproduces NewCursor's row order exactly.
+  /// A return of 0 units means the table does not support partitioned
+  /// scans and callers must fall back to NewCursor.
+  virtual uint64_t morsel_units() const { return 0; }
+  virtual std::unique_ptr<TableCursor> NewMorselCursor(
+      uint64_t begin, uint64_t end, sim::CostModel* cost) const {
+    (void)begin;
+    (void)end;
+    (void)cost;
+    return nullptr;
+  }
+
+  /// Brackets a concurrent morsel scan (forwarded to the page store so
+  /// caches can defer state updates; see PageStore::BeginParallelRead).
+  virtual void BeginParallelScan(int slots) { (void)slots; }
+  virtual void EndParallelScan() {}
+
   /// Rewrites the table in place: `fn` returns false to delete the row
   /// and may mutate it. Returns the number of affected (deleted or kept-
   /// modified) rows as counted by `modified`.
@@ -65,10 +86,17 @@ class MemoryTable : public Table {
   std::unique_ptr<TableCursor> NewCursor(sim::CostModel* cost) const override;
   uint64_t row_count() const override { return rows_.size(); }
   uint64_t page_count() const override;
+  uint64_t morsel_units() const override;
+  std::unique_ptr<TableCursor> NewMorselCursor(
+      uint64_t begin, uint64_t end, sim::CostModel* cost) const override;
   Status Rewrite(const std::function<Result<bool>(Row*, bool*)>& fn,
                  sim::CostModel* cost, uint64_t* affected) override;
 
   const std::vector<Row>& rows() const { return rows_; }
+
+  /// Rows per morsel unit: small enough to load-balance skewed filters,
+  /// large enough that per-unit overhead stays negligible.
+  static constexpr uint64_t kRowsPerMorsel = 1024;
 
  private:
   std::vector<Row> rows_;
@@ -87,6 +115,14 @@ class PagedTable : public Table {
   uint64_t page_count() const override {
     return page_ids_.size() + (buffer_.empty() ? 0 : 1);
   }
+  /// One unit per page, plus a trailing unit for unflushed buffered rows.
+  uint64_t morsel_units() const override { return page_count(); }
+  std::unique_ptr<TableCursor> NewMorselCursor(
+      uint64_t begin, uint64_t end, sim::CostModel* cost) const override;
+  void BeginParallelScan(int slots) override {
+    store_->BeginParallelRead(slots);
+  }
+  void EndParallelScan() override { store_->EndParallelRead(); }
   Status Rewrite(const std::function<Result<bool>(Row*, bool*)>& fn,
                  sim::CostModel* cost, uint64_t* affected) override;
 

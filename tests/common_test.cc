@@ -1,9 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <vector>
+
 #include "common/bytes.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 
 namespace ironsafe {
 namespace {
@@ -159,6 +165,63 @@ TEST(RandomTest, BernoulliExtremes) {
     EXPECT_FALSE(r.Bernoulli(0.0));
     EXPECT_TRUE(r.Bernoulli(1.0));
   }
+}
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnceWithItsSlot) {
+  constexpr int kTasks = 64;
+  std::vector<std::atomic<int>> runs(kTasks);
+  std::vector<int> slots(kTasks, -2);
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < kTasks; ++i) {
+    tasks.push_back([&runs, &slots, i] {
+      ++runs[i];
+      slots[i] = common::ThreadPool::current_slot();
+    });
+  }
+  common::ThreadPool::Shared().RunTasks(tasks);
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(runs[i].load(), 1) << "task " << i;
+    EXPECT_EQ(slots[i], i) << "task " << i;
+  }
+  EXPECT_EQ(common::ThreadPool::current_slot(), -1);
+}
+
+TEST(ThreadPoolTest, ConsecutiveBatchesReuseThePool) {
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 8; ++i) tasks.push_back([&count] { ++count; });
+    common::ThreadPool::Shared().RunTasks(tasks);
+    ASSERT_EQ(count.load(), 8) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, NestedRunTasksExecutesInline) {
+  std::atomic<int> inner_total{0};
+  std::vector<std::function<void()>> outer;
+  for (int i = 0; i < 4; ++i) {
+    outer.push_back([&inner_total] {
+      std::vector<std::function<void()>> inner;
+      for (int j = 0; j < 3; ++j) inner.push_back([&inner_total] { ++inner_total; });
+      common::ThreadPool::Shared().RunTasks(inner);
+    });
+  }
+  common::ThreadPool::Shared().RunTasks(outer);
+  EXPECT_EQ(inner_total.load(), 12);
+}
+
+TEST(ThreadPoolTest, EffectiveWorkersHonorsRequestAndCap) {
+  // The explicit cap is itself clamped to what the machine offers
+  // (pool threads + the participating caller).
+  const int machine = static_cast<int>(common::ThreadPool::Shared().size()) + 1;
+  common::ThreadPool::set_max_workers(0);
+  EXPECT_EQ(common::ThreadPool::EffectiveWorkers(1), 1);
+  EXPECT_GE(common::ThreadPool::EffectiveWorkers(1000), 1);
+  EXPECT_LE(common::ThreadPool::EffectiveWorkers(1000), machine);
+  common::ThreadPool::set_max_workers(2);
+  EXPECT_EQ(common::ThreadPool::EffectiveWorkers(1000), std::min(2, machine));
+  EXPECT_EQ(common::ThreadPool::EffectiveWorkers(1), 1);
+  common::ThreadPool::set_max_workers(0);
 }
 
 }  // namespace

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <optional>
+
+#include "common/thread_pool.h"
 #include "engine/csa_system.h"
 #include "engine/ironsafe.h"
 #include "engine/partitioner.h"
@@ -212,6 +215,108 @@ INSTANTIATE_TEST_SUITE_P(SelectedQueries, ConfigEquivalence,
                          [](const auto& info) {
                            return "Q" + std::to_string(info.param);
                          });
+
+// ---------------- morsel-parallel determinism ----------------
+
+/// Exact serialization, order included: parallelism must not even
+/// reorder rows.
+std::string ExactRows(const sql::QueryResult& result) {
+  std::string out;
+  for (const auto& row : result.rows) {
+    for (const auto& v : row) {
+      out += v.ToString();
+      out += "|";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+/// The tentpole invariant: the REAL worker count (a machine property)
+/// never changes anything observable — rows, row order, ExecStats,
+/// counters, or the simulated cost account. Only wall-clock time may
+/// differ. Exercised under the split (scs) and host-only secure (hos)
+/// configurations, whose page stores see genuinely concurrent reads.
+class ParallelDeterminism : public CsaSystemTest,
+                            public ::testing::WithParamInterface<int> {};
+
+TEST_P(ParallelDeterminism, RealWorkerCountInvariantUnderScs) {
+  auto q = tpch::GetQuery(GetParam());
+  ASSERT_TRUE(q.ok());
+  std::optional<QueryOutcome> base;
+  for (int workers : {1, 4, 16}) {
+    common::ThreadPool::set_max_workers(workers);
+    auto out = system_->Run(SystemConfig::kScs, (*q)->sql);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    if (!base.has_value()) {
+      base = std::move(*out);
+      continue;
+    }
+    EXPECT_EQ(ExactRows(out->result), ExactRows(base->result))
+        << "workers=" << workers;
+    EXPECT_EQ(out->stats, base->stats) << "workers=" << workers;
+    EXPECT_EQ(out->cost, base->cost) << "workers=" << workers;
+    EXPECT_EQ(out->shipped_bytes, base->shipped_bytes);
+    EXPECT_EQ(out->storage_pages_read, base->storage_pages_read);
+  }
+  common::ThreadPool::set_max_workers(0);
+}
+
+TEST_P(ParallelDeterminism, RealWorkerCountInvariantUnderHos) {
+  auto q = tpch::GetQuery(GetParam());
+  ASSERT_TRUE(q.ok());
+  system_->set_host_parallelism(8);  // fixed simulated fan-out
+  std::optional<QueryOutcome> base;
+  for (int workers : {1, 4, 16}) {
+    common::ThreadPool::set_max_workers(workers);
+    auto out = system_->Run(SystemConfig::kHos, (*q)->sql);
+    if (!out.ok()) {
+      common::ThreadPool::set_max_workers(0);
+      system_->set_host_parallelism(1);
+    }
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    if (!base.has_value()) {
+      base = std::move(*out);
+      continue;
+    }
+    EXPECT_EQ(ExactRows(out->result), ExactRows(base->result))
+        << "workers=" << workers;
+    EXPECT_EQ(out->stats, base->stats) << "workers=" << workers;
+    EXPECT_EQ(out->cost, base->cost) << "workers=" << workers;
+    EXPECT_EQ(out->host_pages_read, base->host_pages_read);
+  }
+  common::ThreadPool::set_max_workers(0);
+  system_->set_host_parallelism(1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Queries, ParallelDeterminism,
+                         ::testing::Values(3, 6),
+                         [](const auto& info) {
+                           return "Q" + std::to_string(info.param);
+                         });
+
+TEST_F(CsaSystemTest, StorageCoresKnobKeepsRowsAndStatsIdentical) {
+  // Varying the SIMULATED fan-out legitimately changes the simulated
+  // cost (Figure 10 depends on it) but never the answer or the stats.
+  auto q = tpch::GetQuery(6);
+  ASSERT_TRUE(q.ok());
+  std::optional<QueryOutcome> base;
+  sim::SimNanos prev_ns = 0;
+  for (int cores : {1, 4, 16}) {
+    system_->set_storage_cores(cores);
+    auto out = system_->Run(SystemConfig::kScs, (*q)->sql);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    if (base.has_value()) {
+      EXPECT_EQ(ExactRows(out->result), ExactRows(base->result));
+      EXPECT_EQ(out->stats, base->stats);
+      EXPECT_LT(out->cost.elapsed_ns(), prev_ns) << "more cores, less time";
+    } else {
+      base = *out;
+    }
+    prev_ns = out->cost.elapsed_ns();
+  }
+  system_->set_storage_cores(16);
+}
 
 TEST_F(CsaSystemTest, SplitExecutionShipsLessThanHostOnly) {
   // Q6 is highly selective: the CS configurations must move far fewer

@@ -89,6 +89,47 @@ TEST(CostModelTest, ResetClearsEverything) {
   EXPECT_EQ(cm.network_bytes(), 0u);
 }
 
+TEST(CostModelTest, DiskWriteChargesLikeReadAndCountsWriteBytes) {
+  CostModel rd, wr;
+  rd.ChargeDiskRead(1 << 20);
+  wr.ChargeDiskWrite(1 << 20);
+  // Same streaming formula on both directions of the NVMe link.
+  EXPECT_EQ(rd.elapsed_ns(), wr.elapsed_ns());
+  EXPECT_EQ(rd.disk_bytes(), wr.disk_bytes());
+  EXPECT_EQ(rd.disk_write_bytes(), 0u);
+  EXPECT_EQ(wr.disk_write_bytes(), 1u << 20);
+}
+
+TEST(CostModelTest, MergeChildEqualsChargingSerially) {
+  // The determinism anchor: charging events across N child models and
+  // sum-merging them must be bit-identical to charging one model.
+  CostModel serial;
+  serial.ChargeCycles(Site::kStorage, 12345);
+  serial.ChargeDiskRead(4096);
+  serial.ChargeDiskWrite(8192);
+  serial.ChargeNetworkBytes(4096);
+  serial.ChargeEnclaveTransition();
+  serial.ChargeEpcFault();
+  serial.ChargePageDecrypt(Site::kStorage);
+  serial.ChargePageMacVerify(Site::kStorage);
+  serial.ChargeMerkleNodes(Site::kStorage, 7);
+
+  CostModel parent, child_a(parent.profile()), child_b(parent.profile());
+  child_a.ChargeCycles(Site::kStorage, 12345);
+  child_a.ChargeDiskRead(4096);
+  child_b.ChargeDiskWrite(8192);
+  child_b.ChargeNetworkBytes(4096);
+  parent.ChargeEnclaveTransition();
+  parent.ChargeEpcFault();
+  child_a.ChargePageDecrypt(Site::kStorage);
+  child_b.ChargePageMacVerify(Site::kStorage);
+  child_b.ChargeMerkleNodes(Site::kStorage, 7);
+  parent.MergeChild(child_a);
+  parent.MergeChild(child_b);
+
+  EXPECT_EQ(parent, serial);
+}
+
 TEST(CostModelTest, SummaryMentionsComponents) {
   CostModel cm;
   cm.ChargeNetwork(1 << 20);

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <optional>
+
+#include "common/thread_pool.h"
 #include "sql/database.h"
 #include "sql/eval.h"
 #include "sql/parser.h"
@@ -364,6 +367,109 @@ TEST(PagedDatabaseTest, WorksOverSecureStore) {
   EXPECT_GT(cm.freshness_ns(), 0u);
 }
 
+// ---------------- morsel-parallel execution ----------------
+
+void ExpectSameRows(const QueryResult& a, const QueryResult& b) {
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (size_t i = 0; i < a.rows.size(); ++i) {
+    ASSERT_EQ(a.rows[i].size(), b.rows[i].size());
+    for (size_t j = 0; j < a.rows[i].size(); ++j) {
+      EXPECT_EQ(a.rows[i][j].Compare(b.rows[i][j]), 0)
+          << "row " << i << " col " << j;
+    }
+  }
+}
+
+TEST(ParallelExecTest, WorkerCountNeverChangesResultsStatsOrCost) {
+  storage::BlockDevice disk;
+  PlainPageStore store(&disk);
+  auto db = Database::CreatePaged(&store);
+  ASSERT_TRUE(db->Execute("CREATE TABLE t (a INTEGER, b VARCHAR)").ok());
+  std::vector<Row> rows;
+  for (int i = 0; i < 20000; ++i) {
+    rows.push_back(
+        Row{Value::Int(i), Value::String("g" + std::to_string(i % 37))});
+  }
+  ASSERT_TRUE(db->BulkLoad("t", rows).ok());
+
+  // Scan + filter + hash join + aggregation, at a fixed simulated
+  // fan-out. Only the real worker count varies below; everything
+  // observable must stay bit-identical.
+  auto stmt = ParseSelect(
+      "SELECT t1.b, count(*), sum(t1.a) FROM t t1 JOIN t t2 "
+      "ON t1.a = t2.a WHERE t1.a % 3 = 0 GROUP BY t1.b ORDER BY t1.b");
+  ASSERT_TRUE(stmt.ok());
+  ExecOptions opts;
+  opts.parallelism = 8;
+
+  std::optional<QueryResult> base;
+  std::optional<sim::CostModel> base_cost;
+  ExecStats base_stats;
+  for (int workers : {1, 4, 16}) {
+    common::ThreadPool::set_max_workers(workers);
+    sim::CostModel cm;
+    ExecStats stats;
+    auto r = ExecuteSelect(db.get(), **stmt, nullptr, &cm, opts, &stats);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    if (!base.has_value()) {
+      base = std::move(*r);
+      base_cost = cm;
+      base_stats = stats;
+      continue;
+    }
+    ExpectSameRows(*r, *base);
+    EXPECT_EQ(stats, base_stats) << "workers=" << workers;
+    EXPECT_EQ(cm, *base_cost) << "workers=" << workers;
+  }
+  common::ThreadPool::set_max_workers(0);
+}
+
+TEST(ParallelExecTest, MorselScanPreservesTableOrder) {
+  storage::BlockDevice disk;
+  PlainPageStore store(&disk);
+  auto db = Database::CreatePaged(&store);
+  ASSERT_TRUE(db->Execute("CREATE TABLE t (a INTEGER)").ok());
+  std::vector<Row> rows;
+  for (int i = 0; i < 10000; ++i) rows.push_back(Row{Value::Int(i)});
+  ASSERT_TRUE(db->BulkLoad("t", rows).ok());
+
+  common::ThreadPool::set_max_workers(16);
+  ExecOptions opts;
+  opts.parallelism = 16;
+  sim::CostModel cm;
+  auto stmt = ParseSelect("SELECT a FROM t");  // no ORDER BY
+  ASSERT_TRUE(stmt.ok());
+  auto r = ExecuteSelect(db.get(), **stmt, nullptr, &cm, opts);
+  common::ThreadPool::set_max_workers(0);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 10000u);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_EQ(r->rows[i][0].AsInt(), i) << "morsel concatenation broke order";
+  }
+}
+
+TEST(ParallelExecTest, SimulatedFanOutStillSpeedsUpSimulatedTime) {
+  // The parallelism knob keeps its simulated meaning (Figure 10): more
+  // ways divide the charged CPU cycles, independent of real workers.
+  auto db = Database::CreateInMemory();
+  ASSERT_TRUE(db->Execute("CREATE TABLE t (a INTEGER)").ok());
+  std::vector<Row> rows;
+  for (int i = 0; i < 5000; ++i) rows.push_back(Row{Value::Int(i)});
+  ASSERT_TRUE(db->BulkLoad("t", rows).ok());
+  auto stmt = ParseSelect("SELECT count(*) FROM t WHERE a % 2 = 0");
+  ASSERT_TRUE(stmt.ok());
+
+  common::ThreadPool::set_max_workers(1);  // real threads pinned
+  ExecOptions one, four;
+  one.parallelism = 1;
+  four.parallelism = 4;
+  sim::CostModel cm1, cm4;
+  ASSERT_TRUE(ExecuteSelect(db.get(), **stmt, nullptr, &cm1, one).ok());
+  ASSERT_TRUE(ExecuteSelect(db.get(), **stmt, nullptr, &cm4, four).ok());
+  common::ThreadPool::set_max_workers(0);
+  EXPECT_GT(cm1.elapsed_ns(), cm4.elapsed_ns());
+}
+
 TEST(ExecOptionsTest, MemoryCapCausesSpillCharges) {
   auto db = Database::CreateInMemory();
   ASSERT_TRUE(db->Execute("CREATE TABLE big (a INTEGER, pad VARCHAR)").ok());
@@ -386,6 +492,9 @@ TEST(ExecOptionsTest, MemoryCapCausesSpillCharges) {
   ASSERT_TRUE(r.ok());
   EXPECT_GT(stats.spill_bytes, 0u);
   EXPECT_GT(stats.peak_memory_bytes, opts.memory_cap_bytes);
+  // The spill-out is a disk write (plus the read-back), not two reads.
+  EXPECT_EQ(cm.disk_write_bytes(), stats.spill_bytes);
+  EXPECT_GE(cm.disk_bytes(), 2 * stats.spill_bytes);
 }
 
 }  // namespace
