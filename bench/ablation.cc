@@ -17,7 +17,10 @@ using engine::CsaOptions;
 using engine::SystemConfig;
 
 int Main(int argc, char** argv) {
-  double sf = ArgScaleFactor(argc, argv);
+  BenchArgs args = ParseArgs(argc, argv);
+  double sf = args.scale_factor;
+  BenchTracer tracer(args);
+  WallClock wall;
 
   // ---- A. secure-store layer ablation ----
   PrintHeader("Ablation A: per-layer cost of the secure page store (scs)");
@@ -82,6 +85,7 @@ int Main(int argc, char** argv) {
   system->set_aggregation_pushdown(false);
   std::printf("(whole-query pushdown ships only the final rows; the win "
               "comes from eliminating record shipping + host work)\n");
+  PrintWallClock(wall, "both ablations");
   return 0;
 }
 

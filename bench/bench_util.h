@@ -3,11 +3,16 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "engine/csa_system.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tpch/dbgen.h"
 #include "tpch/queries.h"
 
@@ -26,6 +31,94 @@ inline double ArgScaleFactor(int argc, char** argv) {
   }
   return kDefaultScaleFactor;
 }
+
+/// Flags shared by every bench harness. The first positional argument is
+/// still the scale factor, so `fig6_tpch_speedup 0.01` keeps working.
+///
+///   --trace-json=<path>   write a Chrome trace_event file on exit
+///   --trace-wall          include wall-clock fields in the trace (makes
+///                         the file machine-dependent)
+///   --trace-detail        include per-worker detail spans (makes the
+///                         file dependent on the worker count)
+///   --workers=N           cap the morsel thread pool at N workers
+struct BenchArgs {
+  double scale_factor = kDefaultScaleFactor;
+  std::string trace_json;  // empty = tracing off
+  bool trace_wall = false;
+  bool trace_detail = false;
+  int workers = 0;  // 0 = hardware default
+};
+
+inline BenchArgs ParseArgs(int argc, char** argv) {
+  BenchArgs args;
+  bool saw_sf = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--trace-json=", 13) == 0) {
+      args.trace_json = arg + 13;
+    } else if (std::strcmp(arg, "--trace-wall") == 0) {
+      args.trace_wall = true;
+    } else if (std::strcmp(arg, "--trace-detail") == 0) {
+      args.trace_detail = true;
+    } else if (std::strncmp(arg, "--workers=", 10) == 0) {
+      args.workers = std::atoi(arg + 10);
+    } else if (!saw_sf) {
+      double sf = std::atof(arg);
+      if (sf > 0) {
+        args.scale_factor = sf;
+        saw_sf = true;
+      } else {
+        std::fprintf(stderr, "unknown bench argument: %s\n", arg);
+        std::exit(2);
+      }
+    } else {
+      std::fprintf(stderr, "unknown bench argument: %s\n", arg);
+      std::exit(2);
+    }
+  }
+  if (args.workers > 0) common::ThreadPool::set_max_workers(args.workers);
+  return args;
+}
+
+/// Installs a session tracer for the lifetime of the bench when
+/// `--trace-json` was given, and writes the Chrome trace (plus a snapshot
+/// of the global counter registry) when the harness returns. With no
+/// trace path this is inert: no tracer is installed and the hot path
+/// takes its untraced branch.
+class BenchTracer {
+ public:
+  explicit BenchTracer(const BenchArgs& args) : args_(args) {
+    if (!args_.trace_json.empty()) {
+      tracer_ = std::make_unique<obs::Tracer>();
+      scope_ = std::make_unique<obs::ScopedTracer>(tracer_.get());
+    }
+  }
+
+  ~BenchTracer() {
+    if (tracer_ == nullptr) return;
+    scope_.reset();  // uninstall before exporting
+    obs::ExportOptions opts;
+    opts.include_wall = args_.trace_wall;
+    opts.include_detail = args_.trace_detail;
+    opts.metrics = &obs::MetricsRegistry::Global();
+    Status st = tracer_->WriteChromeTrace(args_.trace_json, opts);
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   st.ToString().c_str());
+      return;
+    }
+    std::printf("trace written: %s (%zu spans)\n", args_.trace_json.c_str(),
+                tracer_->span_count());
+  }
+
+  BenchTracer(const BenchTracer&) = delete;
+  BenchTracer& operator=(const BenchTracer&) = delete;
+
+ private:
+  BenchArgs args_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::ScopedTracer> scope_;
+};
 
 /// Builds a CSA testbed loaded with TPC-H data at `sf`.
 inline Result<std::unique_ptr<engine::CsaSystem>> MakeLoadedSystem(
@@ -63,6 +156,14 @@ class WallClock {
  private:
   std::chrono::steady_clock::time_point start_;
 };
+
+/// Uniform closing line for every harness: simulated totals appear in the
+/// per-query tables above in ms (sim); this reports the real elapsed time
+/// in ms (real) with one shared format.
+inline void PrintWallClock(const WallClock& wall,
+                           const char* scope = "the full sweep") {
+  std::printf("wall clock: %.1f ms real for %s\n", wall.ms(), scope);
+}
 
 inline void Die(const Status& status) {
   std::fprintf(stderr, "bench failed: %s\n", status.ToString().c_str());

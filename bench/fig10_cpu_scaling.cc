@@ -12,7 +12,9 @@ using engine::CsaOptions;
 using engine::SystemConfig;
 
 int Main(int argc, char** argv) {
-  double sf = ArgScaleFactor(argc, argv);
+  BenchArgs args = ParseArgs(argc, argv);
+  double sf = args.scale_factor;
+  BenchTracer tracer(args);
   const int kCores[] = {1, 2, 4, 8, 16};
 
   PrintHeader("Figure 10: secure speedup (hos/scs) vs storage CPUs (SF=" +
@@ -39,7 +41,8 @@ int Main(int argc, char** argv) {
     std::printf("\n");
   }
   system->set_storage_cores(16);
-  std::printf("\nwall clock: %.1f ms real for the full sweep\n", wall.ms());
+  std::printf("\n");
+  PrintWallClock(wall);
   return 0;
 }
 

@@ -23,7 +23,9 @@ uint64_t DatabaseBytes(engine::CsaSystem* system) {
 }
 
 int Main(int argc, char** argv) {
-  double sf = ArgScaleFactor(argc, argv);
+  BenchArgs args = ParseArgs(argc, argv);
+  double sf = args.scale_factor;
+  BenchTracer tracer(args);
   BENCH_ASSIGN(auto system, MakeLoadedSystem(sf));
   uint64_t db_bytes = DatabaseBytes(system.get());
 
@@ -59,7 +61,7 @@ int Main(int argc, char** argv) {
   system->set_storage_memory_bytes(32ull << 30);
   std::printf("(normalized to the 128MiB-equivalent budget; >1 means the "
               "extra memory helped)\n");
-  std::printf("wall clock: %.1f ms real for the full sweep\n", wall.ms());
+  PrintWallClock(wall);
   return 0;
 }
 

@@ -12,7 +12,9 @@ namespace {
 using engine::SystemConfig;
 
 int Main(int argc, char** argv) {
-  double sf = ArgScaleFactor(argc, argv);
+  BenchArgs args = ParseArgs(argc, argv);
+  double sf = args.scale_factor;
+  BenchTracer tracer(args);
   BENCH_ASSIGN(auto system, MakeLoadedSystem(sf));
 
   const int kInstances[] = {1, 2, 4, 8, 16};
@@ -43,7 +45,7 @@ int Main(int argc, char** argv) {
   system->set_storage_cores(16);
   system->set_storage_memory_bytes(32ull << 30);
   std::printf("(linear scaling = column value ~ instance count)\n");
-  std::printf("wall clock: %.1f ms real for the full sweep\n", wall.ms());
+  PrintWallClock(wall);
   return 0;
 }
 

@@ -11,7 +11,9 @@ namespace {
 using engine::SystemConfig;
 
 int Main(int argc, char** argv) {
-  double sf = ArgScaleFactor(argc, argv);
+  BenchArgs args = ParseArgs(argc, argv);
+  double sf = args.scale_factor;
+  BenchTracer tracer(args);
   BENCH_ASSIGN(auto system, MakeLoadedSystem(sf));
 
   PrintHeader("Figure 6: TPC-H speedup from computational storage (SF=" +
@@ -41,7 +43,7 @@ int Main(int argc, char** argv) {
   }
   std::printf("\naverage secure speedup (hos/scs): %.2fx (paper: 2.3x)\n",
               sum_secure_speedup / n);
-  std::printf("wall clock: %.1f ms real for the full sweep\n", total.ms());
+  PrintWallClock(total);
   return 0;
 }
 

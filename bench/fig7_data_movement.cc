@@ -12,7 +12,9 @@ namespace {
 using engine::SystemConfig;
 
 int Main(int argc, char** argv) {
-  double sf = ArgScaleFactor(argc, argv);
+  BenchArgs args = ParseArgs(argc, argv);
+  double sf = args.scale_factor;
+  BenchTracer tracer(args);
   BENCH_ASSIGN(auto system, MakeLoadedSystem(sf));
 
   PrintHeader("Figure 7: host<->storage data movement reduction (SF=" +
@@ -36,7 +38,7 @@ int Main(int argc, char** argv) {
   }
   std::printf("\naverage IO reduction: %.2fx (paper: 2.1x average)\n",
               sum / n);
-  std::printf("wall clock: %.1f ms real for the full sweep\n", wall.ms());
+  PrintWallClock(wall);
   return 0;
 }
 

@@ -13,7 +13,9 @@ namespace {
 using engine::SystemConfig;
 
 int Main(int argc, char** argv) {
-  double sf = ArgScaleFactor(argc, argv);
+  BenchArgs args = ParseArgs(argc, argv);
+  double sf = args.scale_factor;
+  BenchTracer tracer(args);
   BENCH_ASSIGN(auto system, MakeLoadedSystem(sf));
 
   PrintHeader("Figure 8: IronSafe (scs) per-query cost breakdown (SF=" +
@@ -37,7 +39,7 @@ int Main(int argc, char** argv) {
   }
   std::printf("\n(paper: most overhead comes from freshness verification;\n"
               " data transfer of filtered records is comparatively small)\n");
-  std::printf("wall clock: %.1f ms real for the full sweep\n", wall.ms());
+  PrintWallClock(wall);
   return 0;
 }
 

@@ -36,7 +36,9 @@ uint64_t DataBytes(engine::CsaSystem* system) {
 }
 
 int Main(int argc, char** argv) {
-  double base_sf = ArgScaleFactor(argc, argv);
+  BenchArgs args = ParseArgs(argc, argv);
+  double base_sf = args.scale_factor;
+  BenchTracer tracer(args);
   WallClock wall;
 
   // ---- (a) input-size sweep: SF x1, x4/3, x5/3 (paper: SF 3, 4, 5) ----
@@ -110,7 +112,8 @@ int Main(int argc, char** argv) {
   }
   std::printf("(paper: Q2/Q9 spend ~70-80%% verifying freshness, ~15%% "
               "decrypting)\n");
-  std::printf("\nwall clock: %.1f ms real for all three sweeps\n", wall.ms());
+  std::printf("\n");
+  PrintWallClock(wall, "all three sweeps");
   return 0;
 }
 

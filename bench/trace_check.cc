@@ -1,0 +1,201 @@
+// Validates a Chrome trace_event file produced by a bench's
+// `--trace-json=<path>` flag:
+//
+//   trace_check <trace.json> [required-span-name...]
+//
+// Checks that the file parses as JSON, that every event is a well-formed
+// complete ("ph":"X") event with a unique id and a resolvable parent,
+// that children lie inside their parent's [ts, ts+dur] interval, and
+// that for every root span named "query" the direct children tile the
+// root exactly — their simulated durations sum to the root's duration,
+// which is the bench's reported total cost for that query. Any span
+// names given on the command line must appear at least once.
+//
+// Exit status: 0 on success, 1 on any violation (printed to stderr).
+
+#include <cmath>
+#include <cstdio>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace ironsafe::bench {
+namespace {
+
+using obs::JsonValue;
+
+int errors = 0;
+
+void Fail(const std::string& message) {
+  std::fprintf(stderr, "trace_check: %s\n", message.c_str());
+  ++errors;
+}
+
+/// ts/dur are written as decimal microseconds with exactly three
+/// fractional digits, so nanoseconds round-trip exactly.
+int64_t UsToNs(double us) { return std::llround(us * 1000.0); }
+
+struct Event {
+  std::string name;
+  int64_t id = -1;
+  int64_t parent = -1;
+  int64_t ts_ns = 0;
+  int64_t dur_ns = 0;
+  bool detail = false;
+};
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: trace_check <trace.json> [required-span-name...]\n");
+    return 1;
+  }
+
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) {
+    Fail(std::string("cannot open ") + argv[1]);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  auto doc_or = obs::JsonParse(text);
+  if (!doc_or.ok()) {
+    Fail("invalid JSON: " + doc_or.status().ToString());
+    return 1;
+  }
+  const JsonValue& doc = *doc_or;
+  if (!doc.is_object()) {
+    Fail("top-level value is not an object");
+    return 1;
+  }
+  const JsonValue* events_json = doc.Find("traceEvents");
+  if (events_json == nullptr || !events_json->is_array()) {
+    Fail("missing traceEvents array");
+    return 1;
+  }
+
+  std::vector<Event> events;
+  std::map<int64_t, size_t> by_id;
+  for (size_t i = 0; i < events_json->array_value.size(); ++i) {
+    const JsonValue& ev = events_json->array_value[i];
+    std::string where = "event #" + std::to_string(i);
+    if (!ev.is_object()) {
+      Fail(where + " is not an object");
+      continue;
+    }
+    Event out;
+    const JsonValue* name = ev.Find("name");
+    const JsonValue* ph = ev.Find("ph");
+    const JsonValue* ts = ev.Find("ts");
+    const JsonValue* dur = ev.Find("dur");
+    const JsonValue* args = ev.Find("args");
+    if (name == nullptr || !name->is_string()) {
+      Fail(where + " has no string name");
+      continue;
+    }
+    out.name = name->string_value;
+    where += " (" + out.name + ")";
+    if (ph == nullptr || !ph->is_string() || ph->string_value != "X") {
+      Fail(where + " is not a complete (ph=X) event");
+    }
+    if (ts == nullptr || !ts->is_number() || dur == nullptr ||
+        !dur->is_number()) {
+      Fail(where + " lacks numeric ts/dur");
+      continue;
+    }
+    out.ts_ns = UsToNs(ts->number_value);
+    out.dur_ns = UsToNs(dur->number_value);
+    if (out.ts_ns < 0 || out.dur_ns < 0) {
+      Fail(where + " has negative ts or dur");
+    }
+    if (args == nullptr || !args->is_object()) {
+      Fail(where + " has no args object");
+      continue;
+    }
+    const JsonValue* id = args->Find("id");
+    const JsonValue* parent = args->Find("parent");
+    if (id == nullptr || !id->is_number() || parent == nullptr ||
+        !parent->is_number()) {
+      Fail(where + " args lack numeric id/parent");
+      continue;
+    }
+    out.id = std::llround(id->number_value);
+    out.parent = std::llround(parent->number_value);
+    const JsonValue* detail = args->Find("detail");
+    out.detail = detail != nullptr && detail->bool_value;
+    if (!by_id.emplace(out.id, events.size()).second) {
+      Fail(where + " reuses span id " + std::to_string(out.id));
+    }
+    events.push_back(out);
+  }
+
+  // Parent resolution and containment.
+  for (const Event& ev : events) {
+    if (ev.parent < 0) continue;
+    auto it = by_id.find(ev.parent);
+    if (it == by_id.end()) {
+      // Detail spans may reference an exported parent only; non-detail
+      // spans must resolve.
+      if (!ev.detail) {
+        Fail("span " + ev.name + " references missing parent " +
+             std::to_string(ev.parent));
+      }
+      continue;
+    }
+    const Event& parent = events[it->second];
+    if (ev.ts_ns < parent.ts_ns ||
+        ev.ts_ns + ev.dur_ns > parent.ts_ns + parent.dur_ns) {
+      Fail("span " + ev.name + " [" + std::to_string(ev.ts_ns) + "," +
+           std::to_string(ev.ts_ns + ev.dur_ns) + "]ns escapes parent " +
+           parent.name + " [" + std::to_string(parent.ts_ns) + "," +
+           std::to_string(parent.ts_ns + parent.dur_ns) + "]ns");
+    }
+  }
+
+  // Every root "query" span must be tiled exactly by its direct
+  // (non-detail) children: the phase durations sum to the total cost.
+  int query_roots = 0;
+  for (const Event& root : events) {
+    if (root.parent != -1 || root.name != "query") continue;
+    ++query_roots;
+    int64_t child_sum = 0;
+    for (const Event& ev : events) {
+      if (ev.parent == root.id && !ev.detail) child_sum += ev.dur_ns;
+    }
+    if (child_sum != root.dur_ns) {
+      Fail("query root id " + std::to_string(root.id) +
+           ": phase durations sum to " + std::to_string(child_sum) +
+           " ns but the root spans " + std::to_string(root.dur_ns) + " ns");
+    }
+  }
+
+  // Required span names from the command line.
+  std::set<std::string> seen;
+  for (const Event& ev : events) seen.insert(ev.name);
+  for (int i = 2; i < argc; ++i) {
+    if (seen.count(argv[i]) == 0) {
+      Fail(std::string("required span \"") + argv[i] + "\" not found");
+    }
+  }
+
+  if (errors > 0) {
+    std::fprintf(stderr, "trace_check: %d error(s) in %s\n", errors, argv[1]);
+    return 1;
+  }
+  std::printf("trace_check: %s ok (%zu events, %d query roots)\n", argv[1],
+              events.size(), query_roots);
+  return 0;
+}
+
+}  // namespace
+}  // namespace ironsafe::bench
+
+int main(int argc, char** argv) { return ironsafe::bench::Main(argc, argv); }

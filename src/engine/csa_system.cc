@@ -4,6 +4,7 @@
 
 #include "common/thread_pool.h"
 #include "net/wire.h"
+#include "obs/trace.h"
 #include "sql/parser.h"
 
 namespace ironsafe::engine {
@@ -50,6 +51,7 @@ Result<Bytes> ConfigurablePageStore::ChargedRead(uint64_t id,
                                   static_cast<double>(working_set_bytes_));
       uint64_t touches = 1 + merkle_depth_;
       auto faults = static_cast<uint64_t>(fault_fraction * touches + 0.5);
+      if (faults > 0) IRONSAFE_COUNTER_ADD("tee.sgx.epc_faults", faults);
       for (uint64_t i = 0; i < faults; ++i) cost->ChargeEpcFault();
     } else {
       enclave_->TouchMemory(id, page.size(), cost);
@@ -252,6 +254,9 @@ Result<QueryOutcome> CsaSystem::RunHostOnly(const std::string& sql,
                                             bool secure) {
   QueryOutcome outcome;
   outcome.cost = sim::CostModel(options_.hardware);
+  obs::SpanGuard query_span("query", "engine", &outcome.cost);
+  query_span.Tag("config", SystemConfigName(secure ? SystemConfig::kHos
+                                                   : SystemConfig::kHons));
   sql::Database* db = secure ? secure_db_.get() : plain_db_.get();
   ConfigurablePageStore* access =
       secure ? secure_access_.get() : plain_access_.get();
@@ -270,7 +275,11 @@ Result<QueryOutcome> CsaSystem::RunHostOnly(const std::string& sql,
 
   sql::ExecOptions opts;  // host site
   opts.parallelism = options_.host_parallelism;
+  obs::SpanGuard exec_span("host-execute", "engine", &outcome.cost);
   auto result = db->Execute(sql, &outcome.cost, opts);
+  exec_span.Tag("pages_read", static_cast<int64_t>(access->pages_read()));
+  exec_span.Tag("cache_hits", static_cast<int64_t>(access->cache_hits()));
+  exec_span.Close();
 
   access->set_remote(false);
   access->set_enclave(nullptr);
@@ -286,6 +295,8 @@ Result<QueryOutcome> CsaSystem::RunHostOnly(const std::string& sql,
 Result<QueryOutcome> CsaSystem::RunStorageOnly(const std::string& sql) {
   QueryOutcome outcome;
   outcome.cost = sim::CostModel(options_.hardware);
+  obs::SpanGuard query_span("query", "engine", &outcome.cost);
+  query_span.Tag("config", SystemConfigName(SystemConfig::kSos));
   secure_store_->set_site(sim::Site::kStorage);
   secure_access_->ResetCounters();
   secure_access_->ClearCache();
@@ -293,8 +304,14 @@ Result<QueryOutcome> CsaSystem::RunStorageOnly(const std::string& sql) {
   secure_access_->set_remote(false);
   secure_access_->set_enclave(nullptr);
 
+  obs::SpanGuard exec_span("storage-execute", "engine", &outcome.cost);
   auto result =
       secure_db_->Execute(sql, &outcome.cost, StorageExecOptions());
+  exec_span.Tag("pages_read",
+                static_cast<int64_t>(secure_access_->pages_read()));
+  exec_span.Tag("cache_hits",
+                static_cast<int64_t>(secure_access_->cache_hits()));
+  exec_span.Close();
   RETURN_IF_ERROR(result.status());
   outcome.result = std::move(*result);
   outcome.storage_pages_read = secure_access_->pages_read();
@@ -309,12 +326,21 @@ Result<QueryOutcome> CsaSystem::RunSplit(const std::string& sql, bool secure) {
   ConfigurablePageStore* access =
       secure ? secure_access_.get() : plain_access_.get();
 
+  obs::SpanGuard query_span("query", "engine", &outcome.cost);
+  query_span.Tag("config", SystemConfigName(secure ? SystemConfig::kScs
+                                                   : SystemConfig::kVcs));
+
+  obs::SpanGuard part_span("partition", "engine", &outcome.cost);
   ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectStmt> stmt,
                    sql::ParseSelect(sql));
   PartitionOptions part_options;
   part_options.aggregation_pushdown = options_.aggregation_pushdown;
   ASSIGN_OR_RETURN(PartitionedQuery plan,
                    PartitionQuery(*stmt, *storage_db, part_options));
+  part_span.Tag("fragments", static_cast<int64_t>(plan.fragments.size()));
+  part_span.Tag("whole_query_offloaded",
+                static_cast<int64_t>(plan.whole_query_offloaded ? 1 : 0));
+  part_span.Close();
 
   access->ResetCounters();
   access->ClearCache();
@@ -335,8 +361,12 @@ Result<QueryOutcome> CsaSystem::RunSplit(const std::string& sql, bool secure) {
   }
 
   // Phase 1: near-data fragments on the storage engine.
+  obs::SpanGuard storage_span("storage-phase", "engine", &outcome.cost);
   auto host_db = sql::Database::CreateInMemory();
   for (const auto& frag : plan.fragments) {
+    obs::SpanGuard frag_span("fragment", "engine", &outcome.cost);
+    frag_span.Tag("source", frag.source_table);
+    frag_span.Tag("dest", frag.dest_table);
     ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectStmt> frag_stmt,
                      sql::ParseSelect(frag.sql));
     auto frag_result =
@@ -345,6 +375,7 @@ Result<QueryOutcome> CsaSystem::RunSplit(const std::string& sql, bool secure) {
     RETURN_IF_ERROR(frag_result.status());
 
     // Ship the record batch to the host.
+    obs::SpanGuard ship_span("ship", "engine", &outcome.cost);
     Bytes wire = net::SerializeResult(*frag_result);
     outcome.shipped_bytes += wire.size();
     sql::QueryResult shipped;
@@ -371,17 +402,27 @@ Result<QueryOutcome> CsaSystem::RunSplit(const std::string& sql, bool secure) {
     for (auto& row : shipped.rows) {
       RETURN_IF_ERROR(table->Append(row, nullptr));
     }
+    ship_span.Tag("bytes", static_cast<int64_t>(wire.size()));
+    ship_span.Tag("rows", static_cast<int64_t>(shipped.rows.size()));
+    ship_span.Close();
   }
   outcome.storage_pages_read = access->pages_read();
   outcome.storage_phase_ns = outcome.cost.elapsed_ns();
+  storage_span.Tag("pages_read", static_cast<int64_t>(access->pages_read()));
+  storage_span.Tag("cache_hits", static_cast<int64_t>(access->cache_hits()));
+  storage_span.Tag("shipped_bytes",
+                   static_cast<int64_t>(outcome.shipped_bytes));
+  storage_span.Close();
 
   // Phase 2: the host engine runs the remainder over the shipped tables.
+  obs::SpanGuard host_span("host-phase", "engine", &outcome.cost);
   sql::ExecOptions host_opts;  // host site
   auto host_result =
       sql::ExecuteSelect(host_db.get(), *plan.host_query, nullptr,
                          &outcome.cost, host_opts, &outcome.stats);
   RETURN_IF_ERROR(host_result.status());
   if (secure) host_enclave_->ClearMemory();
+  host_span.Close();
 
   outcome.result = std::move(*host_result);
   outcome.host_phase_ns = outcome.cost.elapsed_ns() - outcome.storage_phase_ns;

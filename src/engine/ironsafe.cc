@@ -1,5 +1,7 @@
 #include "engine/ironsafe.h"
 
+#include "obs/trace.h"
+
 namespace ironsafe::engine {
 
 Result<std::unique_ptr<IronSafeSystem>> IronSafeSystem::Create(
@@ -32,19 +34,25 @@ Status IronSafeSystem::Bootstrap(sim::CostModel* cost) {
       csa_->storage_device()->normal_world_hash());
   monitor_->set_latest_firmware(3, 3);
 
+  obs::SpanGuard boot_span("bootstrap", "engine", nullptr);
+
   // Fig 4.a: host attestation. The host's report data carries its
   // channel public key; here we bind the enclave measurement.
+  obs::SpanGuard host_span("attest-host", "engine", cost);
   tee::SgxQuote quote =
       csa_->host_enclave()->GetQuote(csa_->host_enclave()->measurement());
   RETURN_IF_ERROR(
       monitor_->AttestHost(quote, "eu-west-1", 3, cost).status());
+  host_span.Close();
 
   // Fig 4.b: storage attestation.
+  obs::SpanGuard storage_span("attest-storage", "engine", cost);
   Bytes challenge = monitor_->IssueStorageChallenge();
   ASSIGN_OR_RETURN(tee::TzAttestationResponse response,
                    csa_->storage_device()->RespondToChallenge(challenge));
   Status storage_status =
       monitor_->AttestStorage("storage-1", challenge, response, cost);
+  storage_span.Close();
   // A failed storage attestation is not fatal: queries fall back to
   // host-only execution (§4.2).
   bootstrapped_ = true;
@@ -90,13 +98,20 @@ Result<IronSafeSystem::ExecutionResult> IronSafeSystem::Execute(
   }
   ExecutionResult exec;
 
+  // The whole-statement span has no model of its own: its duration is
+  // derived from the control-path, data-path and proof children, each
+  // charged to its own CostModel.
+  obs::SpanGuard exec_span("execute", "engine", nullptr);
+
   // Control path: monitor authorization + rewriting (Figure 2 step 2).
   sim::CostModel monitor_cost;
+  obs::SpanGuard auth_span("authorize", "engine", &monitor_cost);
   ASSIGN_OR_RETURN(monitor::Authorization auth,
                    monitor_->AuthorizeStatement(client_key, sql,
                                                 execution_policy,
                                                 insert_expiry, insert_reuse,
                                                 &monitor_cost));
+  auth_span.Close();
   exec.monitor_ns = monitor_cost.elapsed_ns();
 
   // Data path (Figure 2 steps 3-4).
@@ -114,8 +129,10 @@ Result<IronSafeSystem::ExecutionResult> IronSafeSystem::Execute(
     sim::CostModel dml_cost;
     sql::ExecOptions opts;
     opts.site = sim::Site::kStorage;
+    obs::SpanGuard dml_span("dml-execute", "engine", &dml_cost);
     auto result =
         csa_->secure_db()->ExecuteStatement(auth.rewritten, &dml_cost, opts);
+    dml_span.Close();
     RETURN_IF_ERROR(result.status());
     // Keep the testbed's plaintext twin in sync so non-secure baseline
     // measurements (Table 3) run against identical content.
@@ -129,10 +146,13 @@ Result<IronSafeSystem::ExecutionResult> IronSafeSystem::Execute(
   }
 
   // Step 5: proof of compliance + session cleanup.
+  obs::SpanGuard proof_span("proof", "engine", nullptr);
+  proof_span.Tag("offloaded", static_cast<int64_t>(exec.offloaded ? 1 : 0));
   ASSIGN_OR_RETURN(exec.proof, monitor_->IssueProof(exec.rewritten_sql,
                                                     execution_policy,
                                                     exec.offloaded));
   monitor_->EndSession(auth.session_key);
+  proof_span.Close();
   return exec;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "crypto/hmac.h"
+#include "obs/trace.h"
 
 namespace ironsafe::monitor {
 
@@ -155,7 +156,9 @@ Result<Authorization> TrustedMonitor::AuthorizeStatement(
     return Status::Unauthenticated("unknown client: " + client_key_id);
   }
 
+  obs::SpanGuard parse_span("parse", "monitor", cost);
   ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
+  parse_span.Close();
 
   policy::RequestFacts request;
   request.session_key_id = client_key_id;
@@ -164,6 +167,8 @@ Result<Authorization> TrustedMonitor::AuthorizeStatement(
 
   Authorization auth;
   auth.storage_eligible = facts_.storage_attested;
+
+  obs::SpanGuard policy_span("policy-check", "monitor", cost);
 
   // 1. Execution policy: decides eligibility of host/storage nodes.
   if (!execution_policy.empty()) {
@@ -207,6 +212,8 @@ Result<Authorization> TrustedMonitor::AuthorizeStatement(
     }
 
     // 3. Rewriting for row-level policies and hidden columns.
+    policy_span.Close();
+    obs::SpanGuard rewrite_span("rewrite", "monitor", cost);
     switch (stmt.kind) {
       case sql::Statement::Kind::kSelect:
         if (decision.row_filter) {
@@ -237,6 +244,7 @@ Result<Authorization> TrustedMonitor::AuthorizeStatement(
                                  table_policy->with_reuse);
         break;
     }
+    rewrite_span.Close();
 
     // 4. Logging obligations (anti-pattern #3: transparent sharing).
     for (const policy::Obligation& ob : decision.obligations) {
@@ -247,6 +255,7 @@ Result<Authorization> TrustedMonitor::AuthorizeStatement(
     }
     auth.obligations = decision.obligations;
   }
+  policy_span.Close();  // no-op when the rewrite branch already closed it
 
   // 5. Session key for the host<->storage channel (§4.2 key management).
   auth.session_key = drbg_.Generate(32);

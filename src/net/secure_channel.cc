@@ -2,6 +2,7 @@
 
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
+#include "obs/metrics.h"
 
 namespace ironsafe::net {
 
@@ -49,6 +50,8 @@ Result<Bytes> SecureChannel::Send(const Bytes& plaintext,
   nonce.resize(crypto::Aead::kNonceSize);
   ++send_seq_;
   ASSIGN_OR_RETURN(Bytes frame, send_aead_.Seal(nonce, aad, plaintext));
+  IRONSAFE_COUNTER_ADD("net.channel.frames_sent", 1);
+  IRONSAFE_COUNTER_ADD("net.channel.send_bytes", frame.size());
   if (cost != nullptr) cost->ChargeNetwork(frame.size());
   return frame;
 }
@@ -61,11 +64,14 @@ Result<Bytes> SecureChannel::Receive(const Bytes& frame,
   Append(&aad, session_id_);
   auto plaintext = recv_aead_.Open(aad, frame);
   if (!plaintext.ok()) {
+    IRONSAFE_COUNTER_ADD("net.channel.rejects", 1);
     return Status::Corruption(
         "secure channel record rejected (tamper, replay or reorder) at seq " +
         std::to_string(recv_seq_));
   }
   ++recv_seq_;
+  IRONSAFE_COUNTER_ADD("net.channel.frames_received", 1);
+  IRONSAFE_COUNTER_ADD("net.channel.recv_bytes", frame.size());
   return plaintext;
 }
 

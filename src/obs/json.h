@@ -1,0 +1,46 @@
+#ifndef IRONSAFE_OBS_JSON_H_
+#define IRONSAFE_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ironsafe::obs {
+
+/// Minimal JSON DOM used by the trace tooling and tests to validate
+/// exporter output. Supports the full value grammar (RFC 8259) minus
+/// \uXXXX surrogate pairs (escaped verbatim by our writer anyway).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0;
+  std::string string_value;
+  std::vector<JsonValue> array_value;
+  std::map<std::string, JsonValue> object_value;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  /// Object member lookup; null when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, trailing
+/// garbage is an error).
+Result<JsonValue> JsonParse(std::string_view text);
+
+/// `s` escaped per JSON string rules, surrounded by double quotes.
+std::string JsonQuote(std::string_view s);
+
+}  // namespace ironsafe::obs
+
+#endif  // IRONSAFE_OBS_JSON_H_

@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 #include "sql/database.h"
 
 namespace ironsafe::sql {
@@ -47,7 +48,11 @@ class ExecSubqueryRunner : public SubqueryRunner {
  public:
   ExecSubqueryRunner(Database* db, sim::CostModel* cost,
                      const ExecOptions& opts)
-      : db_(db), cost_(cost), opts_(opts) {}
+      : db_(db), cost_(cost), opts_(opts) {
+    // Correlated subqueries re-execute per outer row; their stage spans
+    // would dwarf the trace without adding structure.
+    opts_.trace = false;
+  }
 
   /// Uncorrelated subqueries execute once and are cached (keyed by AST
   /// node); a subquery that fails without the outer scope is correlated
@@ -89,6 +94,10 @@ struct Ctx {
   std::unique_ptr<ExecSubqueryRunner> runner;
   std::unique_ptr<Evaluator> eval;
   uint64_t pending_cycles = 0;
+  /// True when stage spans go to the current thread's tracer. Untraced
+  /// runs keep the seed behavior exactly: charges stay batched until the
+  /// single flush at query end.
+  bool traced = false;
 
   void Charge(uint64_t cycles) { pending_cycles += cycles; }
 
@@ -113,6 +122,45 @@ struct Ctx {
       }
     }
   }
+};
+
+/// Pipeline-stage span. Batched CPU cycles are flushed to the cost model
+/// on both edges so the span's simulated interval covers the stage's CPU
+/// work. Flush points are stage boundaries — the same sequence for every
+/// worker count — so traced runs stay deterministic; untraced runs skip
+/// the flushes and match the seed's charging bit for bit.
+class StageSpan {
+ public:
+  StageSpan(Ctx* ctx, std::string_view name) : ctx_(ctx) {
+    if (ctx_->traced) {
+      ctx_->FlushCharges();
+      id_ = obs::CurrentTracer()->OpenSpan(name, "sql", ctx_->cost);
+      open_ = true;
+    }
+  }
+  ~StageSpan() { Close(); }
+
+  void Close() {
+    if (open_) {
+      ctx_->FlushCharges();
+      obs::CurrentTracer()->CloseSpan(id_, ctx_->cost);
+      open_ = false;
+    }
+  }
+  void Tag(std::string_view key, int64_t value) {
+    if (open_) obs::CurrentTracer()->AddTag(id_, key, value);
+  }
+  void Tag(std::string_view key, std::string_view value) {
+    if (open_) obs::CurrentTracer()->AddTag(id_, key, value);
+  }
+
+  StageSpan(const StageSpan&) = delete;
+  StageSpan& operator=(const StageSpan&) = delete;
+
+ private:
+  Ctx* ctx_;
+  int64_t id_ = -1;
+  bool open_ = false;
 };
 
 // ---- Expression analysis helpers ----
@@ -349,6 +397,10 @@ struct ScanSlice {
   uint64_t cycles = 0;
   std::optional<sim::CostModel> cost;
   Status status = Status::OK();
+  uint64_t unit_begin = 0;
+  uint64_t unit_end = 0;
+  int64_t wall_start_us = 0;
+  int64_t wall_end_us = 0;
 };
 
 /// Morsel-driven parallel scan of a base table: the table's morsel units
@@ -368,43 +420,51 @@ Status ScanTableMorsels(Ctx* ctx, Table* table,
   tasks.reserve(workers);
   const Schema* schema = &rel->schema;
   const EvalScope* outer = ctx->outer;
+  obs::Tracer* tracer = ctx->traced ? obs::CurrentTracer() : nullptr;
   for (int w = 0; w < workers; ++w) {
     uint64_t begin = units * w / workers;
     uint64_t end = units * (w + 1) / workers;
     ScanSlice* slice = &slices[w];
+    slice->unit_begin = begin;
+    slice->unit_end = end;
     if (ctx->cost != nullptr) slice->cost.emplace(ctx->cost->profile());
-    tasks.push_back([table, schema, outer, &filters, begin, end, slice] {
+    tasks.push_back([table, schema, outer, &filters, begin, end, slice,
+                     tracer] {
+      if (tracer != nullptr) slice->wall_start_us = tracer->WallNowUs();
       sim::CostModel* wcost = slice->cost ? &*slice->cost : nullptr;
       auto cursor = table->NewMorselCursor(begin, end, wcost);
       // Pushed-down filters are subquery-free by construction, so a
       // runner-less evaluator matches the shared one bit for bit.
-      Evaluator eval(nullptr);
-      Row row;
-      while (true) {
-        Result<bool> more = cursor->Next(&row);
-        if (!more.ok()) {
-          slice->status = more.status();
-          return;
-        }
-        if (!*more) return;
-        ++slice->rows_scanned;
-        slice->cycles += kScanRowCycles;
-        EvalScope scope{schema, &row, outer};
-        bool keep = true;
-        for (const Expr* f : filters) {
-          slice->cycles += kFilterCycles;
-          Result<bool> ok = eval.EvalBool(*f, scope);
-          if (!ok.ok()) {
-            slice->status = ok.status();
+      [&] {
+        Evaluator eval(nullptr);
+        Row row;
+        while (true) {
+          Result<bool> more = cursor->Next(&row);
+          if (!more.ok()) {
+            slice->status = more.status();
             return;
           }
-          if (!*ok) {
-            keep = false;
-            break;
+          if (!*more) return;
+          ++slice->rows_scanned;
+          slice->cycles += kScanRowCycles;
+          EvalScope scope{schema, &row, outer};
+          bool keep = true;
+          for (const Expr* f : filters) {
+            slice->cycles += kFilterCycles;
+            Result<bool> ok = eval.EvalBool(*f, scope);
+            if (!ok.ok()) {
+              slice->status = ok.status();
+              return;
+            }
+            if (!*ok) {
+              keep = false;
+              break;
+            }
           }
+          if (keep) slice->rows.push_back(std::move(row));
         }
-        if (keep) slice->rows.push_back(std::move(row));
-      }
+      }();
+      if (tracer != nullptr) slice->wall_end_us = tracer->WallNowUs();
     });
   }
 
@@ -417,12 +477,30 @@ Status ScanTableMorsels(Ctx* ctx, Table* table,
   size_t total = rel->rows.size();
   for (const ScanSlice& s : slices) total += s.rows.size();
   rel->rows.reserve(total);
-  for (ScanSlice& s : slices) {
+  for (int w = 0; w < workers; ++w) {
+    ScanSlice& s = slices[w];
     RETURN_IF_ERROR(s.status);
     if (ctx->stats != nullptr) ctx->stats->rows_scanned += s.rows_scanned;
     ctx->Charge(s.cycles);
     if (ctx->cost != nullptr && s.cost.has_value()) {
       ctx->cost->MergeChild(*s.cost);
+    }
+    if (tracer != nullptr) {
+      // Per-morsel detail lane: the slice's private cost-model elapsed
+      // (page I/O + decrypt + verify) plus the worker's wall window.
+      int64_t id = tracer->AddDetailSpan(
+          "morsel", "sql", s.cost ? s.cost->elapsed_ns() : 0, w,
+          s.wall_start_us, s.wall_end_us);
+      tracer->AddTag(id, "worker", static_cast<int64_t>(w));
+      tracer->AddTag(id, "unit_begin", static_cast<int64_t>(s.unit_begin));
+      tracer->AddTag(id, "unit_end", static_cast<int64_t>(s.unit_end));
+      tracer->AddTag(id, "rows_scanned", static_cast<int64_t>(s.rows_scanned));
+      tracer->AddTag(id, "rows_kept", static_cast<int64_t>(s.rows.size()));
+      tracer->AddTag(id, "cycles", static_cast<int64_t>(s.cycles));
+      if (s.cost.has_value()) {
+        tracer->AddTag(id, "pages_decrypted",
+                       static_cast<int64_t>(s.cost->pages_decrypted()));
+      }
     }
     for (Row& r : s.rows) rel->rows.push_back(std::move(r));
   }
@@ -433,6 +511,8 @@ Status ScanTableMorsels(Ctx* ctx, Table* table,
 
 Result<RelData> ScanRelation(Ctx* ctx, const TableRef& ref,
                              std::vector<ConjunctInfo>* conjuncts) {
+  StageSpan span(ctx, "scan");
+  span.Tag("table", ref.subquery ? "derived:" + ref.alias : ref.table_name);
   RelData rel;
   std::vector<Row> source_rows;
   Table* table = nullptr;
@@ -492,6 +572,7 @@ Result<RelData> ScanRelation(Ctx* ctx, const TableRef& ref,
       RETURN_IF_ERROR(consume(row).status());
     }
   }
+  span.Tag("rows_out", static_cast<int64_t>(rel.rows.size()));
   return rel;
 }
 
@@ -516,6 +597,10 @@ Result<std::vector<Bytes>> ComputeJoinKeys(Ctx* ctx, const RelData& rel,
   struct KeySlice {
     uint64_t cycles = 0;
     Status status = Status::OK();
+    size_t lo = 0;
+    size_t hi = 0;
+    int64_t wall_start_us = 0;
+    int64_t wall_end_us = 0;
   };
   size_t n = rel.rows.size();
   std::vector<Bytes> out(n);
@@ -526,35 +611,60 @@ Result<std::vector<Bytes>> ComputeJoinKeys(Ctx* ctx, const RelData& rel,
   const Schema* schema = &rel.schema;
   const std::vector<Row>* rows = &rel.rows;
   const EvalScope* outer = ctx->outer;
+  obs::Tracer* tracer = ctx->traced ? obs::CurrentTracer() : nullptr;
   for (int w = 0; w < workers; ++w) {
     size_t lo = n * w / workers;
     size_t hi = n * (w + 1) / workers;
     KeySlice* slice = &slices[w];
-    tasks.push_back(
-        [&out, &exprs, rows, schema, outer, lo, hi, slice, per_row_cycles] {
-          Evaluator eval(nullptr);
-          std::vector<Value> kv;
-          for (size_t i = lo; i < hi; ++i) {
-            slice->cycles += per_row_cycles;
-            EvalScope scope{schema, &(*rows)[i], outer};
-            kv.clear();
-            kv.reserve(exprs.size());
-            for (const Expr* e : exprs) {
-              Result<Value> v = eval.Eval(*e, scope);
-              if (!v.ok()) {
-                slice->status = v.status();
-                return;
-              }
-              kv.push_back(std::move(*v));
+    slice->lo = lo;
+    slice->hi = hi;
+    tasks.push_back([&out, &exprs, rows, schema, outer, lo, hi, slice,
+                     per_row_cycles, tracer] {
+      if (tracer != nullptr) slice->wall_start_us = tracer->WallNowUs();
+      [&] {
+        Evaluator eval(nullptr);
+        std::vector<Value> kv;
+        for (size_t i = lo; i < hi; ++i) {
+          slice->cycles += per_row_cycles;
+          EvalScope scope{schema, &(*rows)[i], outer};
+          kv.clear();
+          kv.reserve(exprs.size());
+          for (const Expr* e : exprs) {
+            Result<Value> v = eval.Eval(*e, scope);
+            if (!v.ok()) {
+              slice->status = v.status();
+              return;
             }
-            out[i] = KeyOf(kv);
+            kv.push_back(std::move(*v));
           }
-        });
+          out[i] = KeyOf(kv);
+        }
+      }();
+      if (tracer != nullptr) slice->wall_end_us = tracer->WallNowUs();
+    });
   }
   common::ThreadPool::Shared().RunTasks(tasks);
-  for (const KeySlice& s : slices) {
+  for (int w = 0; w < workers; ++w) {
+    const KeySlice& s = slices[w];
     RETURN_IF_ERROR(s.status);
     ctx->Charge(s.cycles);
+    if (tracer != nullptr) {
+      // Detail lane: this slice's key-evaluation cycles priced at the
+      // query's simulated fan-out (a scratch model, not a real charge).
+      sim::SimNanos dur = 0;
+      if (ctx->cost != nullptr) {
+        sim::CostModel scratch(ctx->cost->profile());
+        scratch.ChargeParallelCycles(ctx->opts.site, s.cycles,
+                                     ctx->opts.parallelism);
+        dur = scratch.elapsed_ns();
+      }
+      int64_t id = tracer->AddDetailSpan("join-keys", "sql", dur, w,
+                                         s.wall_start_us, s.wall_end_us);
+      tracer->AddTag(id, "worker", static_cast<int64_t>(w));
+      tracer->AddTag(id, "row_begin", static_cast<int64_t>(s.lo));
+      tracer->AddTag(id, "row_end", static_cast<int64_t>(s.hi));
+      tracer->AddTag(id, "cycles", static_cast<int64_t>(s.cycles));
+    }
   }
   return out;
 }
@@ -562,6 +672,9 @@ Result<std::vector<Bytes>> ComputeJoinKeys(Ctx* ctx, const RelData& rel,
 Result<RelData> JoinRelations(Ctx* ctx, RelData left, RelData right,
                               std::vector<ConjunctInfo>* conjuncts,
                               const Expr* on) {
+  StageSpan span(ctx, "join");
+  span.Tag("left_rows", static_cast<int64_t>(left.rows.size()));
+  span.Tag("right_rows", static_cast<int64_t>(right.rows.size()));
   Schema combined = Schema::Concat(left.schema, right.schema);
 
   // Gather applicable predicates: the ON clause plus WHERE conjuncts that
@@ -621,6 +734,7 @@ Result<RelData> JoinRelations(Ctx* ctx, RelData left, RelData right,
     return true;
   };
 
+  span.Tag("kind", keys.empty() ? "nested-loop" : "hash");
   if (!keys.empty()) {
     // Hash join; build on the smaller input (right by default). Key
     // evaluation — the per-row CPU work — runs morsel-parallel; the
@@ -673,6 +787,7 @@ Result<RelData> JoinRelations(Ctx* ctx, RelData left, RelData right,
       }
     }
   }
+  span.Tag("rows_out", static_cast<int64_t>(out.rows.size()));
   return out;
 }
 
@@ -825,6 +940,8 @@ Result<QueryResult> ExecuteSelect(Database* db, const SelectStmt& stmt,
   ctx.outer = outer;
   ctx.runner = std::make_unique<ExecSubqueryRunner>(db, cost, opts);
   ctx.eval = std::make_unique<Evaluator>(ctx.runner.get());
+  ctx.traced =
+      opts.trace && cost != nullptr && obs::CurrentTracer() != nullptr;
 
   if (stmt.from.empty()) {
     // SELECT without FROM: evaluate items once against the outer scope.
@@ -840,6 +957,8 @@ Result<QueryResult> ExecuteSelect(Database* db, const SelectStmt& stmt,
     result.rows.push_back(std::move(row));
     return result;
   }
+
+  StageSpan select_span(&ctx, "select");
 
   std::vector<ConjunctInfo> conjuncts = AnalyzeConjuncts(stmt.where.get());
 
@@ -866,6 +985,9 @@ Result<QueryResult> ExecuteSelect(Database* db, const SelectStmt& stmt,
       if (!info.consumed) residual.push_back(info.expr);
     }
     if (!residual.empty()) {
+      StageSpan filter_span(&ctx, "filter");
+      filter_span.Tag("rows_in", static_cast<int64_t>(current.rows.size()));
+      filter_span.Tag("predicates", static_cast<int64_t>(residual.size()));
       std::vector<Row> kept;
       for (Row& row : current.rows) {
         EvalScope scope{&current.schema, &row, ctx.outer};
@@ -881,6 +1003,7 @@ Result<QueryResult> ExecuteSelect(Database* db, const SelectStmt& stmt,
         if (pass) kept.push_back(std::move(row));
       }
       current.rows = std::move(kept);
+      filter_span.Tag("rows_out", static_cast<int64_t>(current.rows.size()));
     }
   }
 
@@ -901,8 +1024,13 @@ Result<QueryResult> ExecuteSelect(Database* db, const SelectStmt& stmt,
   if (aggregated) {
     for (const auto& g : stmt.group_by) rewrite_names.insert(g->ToString());
     for (const auto& [name, e] : agg_exprs) rewrite_names.insert(name);
-    ASSIGN_OR_RETURN(current, Aggregate(&ctx, std::move(current), stmt,
-                                        agg_exprs));
+    {
+      StageSpan agg_span(&ctx, "aggregate");
+      agg_span.Tag("rows_in", static_cast<int64_t>(current.rows.size()));
+      ASSIGN_OR_RETURN(current, Aggregate(&ctx, std::move(current), stmt,
+                                          agg_exprs));
+      agg_span.Tag("groups", static_cast<int64_t>(current.rows.size()));
+    }
     for (const SelectItem& item : stmt.items) {
       items.push_back(SelectItem{RewriteToColumns(*item.expr, rewrite_names),
                                  item.alias});
@@ -944,6 +1072,8 @@ Result<QueryResult> ExecuteSelect(Database* db, const SelectStmt& stmt,
   std::vector<bool> order_from_input(order_by.size(), false);
   std::vector<std::vector<Value>> hidden_keys;
   {
+    StageSpan project_span(&ctx, "project");
+    project_span.Tag("rows", static_cast<int64_t>(current.rows.size()));
     bool star_only = items.size() == 1 && items[0].expr->kind == ExprKind::kStar;
     if (star_only) {
       result.schema = current.schema;
@@ -1021,6 +1151,8 @@ Result<QueryResult> ExecuteSelect(Database* db, const SelectStmt& stmt,
   // 7. ORDER BY: output-schema keys evaluated on the projected row,
   //    input-schema keys read from the hidden key vector.
   if (!order_by.empty()) {
+    StageSpan sort_span(&ctx, "sort");
+    sort_span.Tag("rows", static_cast<int64_t>(result.rows.size()));
     struct SortKey {
       std::vector<Value> keys;
       size_t index;
@@ -1068,6 +1200,7 @@ Result<QueryResult> ExecuteSelect(Database* db, const SelectStmt& stmt,
   }
 
   if (stats != nullptr) stats->rows_output += result.rows.size();
+  select_span.Tag("rows_out", static_cast<int64_t>(result.rows.size()));
   ctx.FlushCharges();
   return result;
 }

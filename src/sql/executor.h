@@ -26,6 +26,10 @@ struct ExecOptions {
   sim::Site site = sim::Site::kHost;
   uint64_t memory_cap_bytes = UINT64_MAX;
   int parallelism = 1;
+  /// Emit pipeline-stage spans to the current thread's obs::Tracer (no-op
+  /// when none is installed). Scalar/correlated subqueries run with this
+  /// off — they re-execute per outer row and would flood the trace.
+  bool trace = true;
 };
 
 /// Statistics accumulated while executing one query.

@@ -1,6 +1,7 @@
 #include "tee/rpmb.h"
 
 #include "crypto/hmac.h"
+#include "obs/metrics.h"
 
 namespace ironsafe::tee {
 
@@ -59,6 +60,7 @@ Status RpmbDevice::AuthenticatedWrite(uint32_t slot, const Bytes& data,
   }
   slots_[slot] = data;
   ++write_counter_;
+  IRONSAFE_COUNTER_ADD("tee.rpmb.writes", 1);
   return Status::OK();
 }
 
@@ -73,6 +75,7 @@ Result<RpmbDevice::ReadResponse> RpmbDevice::Read(uint32_t slot,
   if (it != slots_.end()) resp.data = it->second;
   resp.counter = write_counter_;
   resp.mac = MakeReadMac(key_, slot, resp.counter, resp.data, nonce);
+  IRONSAFE_COUNTER_ADD("tee.rpmb.reads", 1);
   return resp;
 }
 

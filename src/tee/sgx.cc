@@ -3,6 +3,7 @@
 #include "crypto/aead.h"
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
+#include "obs/metrics.h"
 
 namespace ironsafe::tee {
 
@@ -53,6 +54,7 @@ std::unique_ptr<SgxEnclave> SgxMachine::LoadEnclave(
 }
 
 void SgxEnclave::EnterExit(sim::CostModel* cost) {
+  IRONSAFE_COUNTER_ADD("tee.sgx.transitions", 1);
   if (cost != nullptr) cost->ChargeEnclaveTransition();
 }
 
@@ -80,6 +82,7 @@ uint64_t SgxEnclave::TouchMemory(uint64_t region_id, uint64_t bytes,
     fifo_.push_back(key);
     ++resident_bytes_;
   }
+  if (faults > 0) IRONSAFE_COUNTER_ADD("tee.sgx.epc_faults", faults);
   return faults;
 }
 

@@ -1,0 +1,353 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "engine/csa_system.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/cost_model.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace ironsafe::obs {
+namespace {
+
+// ---------------- tracer: span structure ----------------
+
+TEST(TracerTest, NestedSpansTileTheTimeline) {
+  sim::CostModel cost;
+  Tracer tracer;
+  ScopedTracer scope(&tracer);
+  {
+    SpanGuard root("root", "test", &cost);
+    {
+      SpanGuard a("a", "test", &cost);
+      cost.ChargeFixed(1000);
+      SpanGuard b("b", "test", &cost);
+      cost.ChargeFixed(250);
+    }
+    {
+      SpanGuard c("c", "test", &cost);
+      cost.ChargeFixed(500);
+    }
+  }
+  ASSERT_EQ(tracer.open_count(), 0u);
+  std::vector<Span> spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 4u);
+
+  const Span& root = spans[0];
+  const Span& a = spans[1];
+  const Span& b = spans[2];
+  const Span& c = spans[3];
+  EXPECT_EQ(root.name, "root");
+  EXPECT_EQ(root.parent, -1);
+  EXPECT_EQ(root.depth, 0);
+  EXPECT_EQ(a.parent, root.id);
+  EXPECT_EQ(a.depth, 1);
+  EXPECT_EQ(b.parent, a.id);
+  EXPECT_EQ(b.depth, 2);
+  EXPECT_EQ(c.parent, root.id);
+
+  // a charged 1000 before opening b and b charged 250 inside it.
+  EXPECT_EQ(a.sim_start_ns, 0u);
+  EXPECT_EQ(a.sim_duration_ns(), 1250u);
+  EXPECT_EQ(b.sim_duration_ns(), 250u);
+  // c starts where its sibling a ended.
+  EXPECT_EQ(c.sim_start_ns, a.sim_end_ns);
+  EXPECT_EQ(c.sim_duration_ns(), 500u);
+  // The root spans exactly the sum of its children.
+  EXPECT_EQ(root.sim_duration_ns(), a.sim_duration_ns() + c.sim_duration_ns());
+  // Wall clock moves forward (auxiliary, not asserted tightly).
+  EXPECT_GE(root.wall_end_us, root.wall_start_us);
+}
+
+TEST(TracerTest, NullModelSpanDerivesDurationFromChildren) {
+  sim::CostModel cost;
+  Tracer tracer;
+  ScopedTracer scope(&tracer);
+  {
+    SpanGuard root("root", "test", nullptr);
+    {
+      SpanGuard a("a", "test", &cost);
+      cost.ChargeFixed(100);
+    }
+    {
+      SpanGuard b("b", "test", &cost);
+      cost.ChargeFixed(300);
+    }
+  }
+  std::vector<Span> spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].sim_duration_ns(), 400u);
+}
+
+TEST(TracerTest, SequentialRootsDoNotOverlap) {
+  sim::CostModel cost;
+  Tracer tracer;
+  ScopedTracer scope(&tracer);
+  {
+    SpanGuard first("first", "test", &cost);
+    cost.ChargeFixed(700);
+  }
+  {
+    SpanGuard second("second", "test", &cost);
+    cost.ChargeFixed(100);
+  }
+  std::vector<Span> spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[1].sim_start_ns, spans[0].sim_end_ns);
+}
+
+TEST(TracerTest, TagsAttachToTheirSpan) {
+  sim::CostModel cost;
+  Tracer tracer;
+  ScopedTracer scope(&tracer);
+  {
+    SpanGuard span("tagged", "test", &cost);
+    span.Tag("rows", int64_t{42});
+    span.Tag("table", "lineitem");
+  }
+  std::vector<Span> spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  ASSERT_EQ(spans[0].tags.size(), 2u);
+  EXPECT_EQ(spans[0].tags[0], (std::pair<std::string, std::string>{"rows",
+                                                                   "42"}));
+  EXPECT_EQ(spans[0].tags[1].second, "lineitem");
+}
+
+TEST(TracerTest, DetailSpanDoesNotAdvanceTheCursor) {
+  sim::CostModel cost;
+  Tracer tracer;
+  ScopedTracer scope(&tracer);
+  {
+    SpanGuard root("root", "test", &cost);
+    tracer.AddDetailSpan("morsel", "test", 5000, /*lane=*/2, 0, 0);
+    {
+      SpanGuard child("child", "test", &cost);
+      cost.ChargeFixed(100);
+    }
+  }
+  std::vector<Span> spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_TRUE(spans[1].detail);
+  EXPECT_EQ(spans[1].lane, 2);
+  EXPECT_EQ(spans[1].sim_duration_ns(), 5000u);
+  // The detail span starts where the next real child starts: it did not
+  // move the parent's layout cursor.
+  EXPECT_EQ(spans[2].sim_start_ns, spans[1].sim_start_ns);
+}
+
+TEST(TracerTest, SpanGuardIsInertWithoutATracer) {
+  ASSERT_EQ(CurrentTracer(), nullptr);
+  SpanGuard guard("orphan", "test", nullptr);
+  EXPECT_FALSE(guard.active());
+  guard.Tag("ignored", "value");  // must not crash
+  guard.Close();
+}
+
+TEST(TracerTest, TreeExportIndentsByDepth) {
+  sim::CostModel cost;
+  Tracer tracer;
+  ScopedTracer scope(&tracer);
+  {
+    SpanGuard root("outer", "test", &cost);
+    SpanGuard child("inner", "test", &cost);
+    cost.ChargeFixed(1234);
+  }
+  std::ostringstream out;
+  tracer.ExportTree(out);
+  EXPECT_NE(out.str().find("outer  1.234 us"), std::string::npos);
+  EXPECT_NE(out.str().find("  inner  1.234 us"), std::string::npos);
+}
+
+// ---------------- tracer: Chrome export ----------------
+
+TEST(ChromeExportTest, ProducesWellFormedRenumberedJson) {
+  sim::CostModel cost;
+  Tracer tracer;
+  ScopedTracer scope(&tracer);
+  {
+    SpanGuard root("que\"ry\n", "engine", &cost);  // needs escaping
+    tracer.AddDetailSpan("morsel", "sql", 100, 0, 0, 0);
+    SpanGuard child("scan", "sql", &cost);
+    cost.ChargeFixed(2500);
+  }
+  std::ostringstream out;
+  tracer.ExportChromeTrace(out, ExportOptions{});
+  auto doc = JsonParse(out.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  // The detail span is excluded by default and the remaining ids are
+  // renumbered contiguously so the export is worker-count independent.
+  ASSERT_EQ(events->array_value.size(), 2u);
+  for (size_t i = 0; i < events->array_value.size(); ++i) {
+    const JsonValue& ev = events->array_value[i];
+    EXPECT_EQ(ev.Find("ph")->string_value, "X");
+    EXPECT_DOUBLE_EQ(ev.Find("args")->Find("id")->number_value,
+                     static_cast<double>(i));
+  }
+  EXPECT_EQ(events->array_value[0].Find("name")->string_value, "que\"ry\n");
+  EXPECT_DOUBLE_EQ(events->array_value[1].Find("dur")->number_value, 2.5);
+  // Wall-clock fields are opt-in.
+  EXPECT_EQ(out.str().find("wall_start_us"), std::string::npos);
+}
+
+TEST(ChromeExportTest, DetailAndWallAreOptIn) {
+  sim::CostModel cost;
+  Tracer tracer;
+  ScopedTracer scope(&tracer);
+  {
+    SpanGuard root("root", "test", &cost);
+    tracer.AddDetailSpan("morsel", "sql", 100, 3, 10, 20);
+  }
+  ExportOptions opts;
+  opts.include_detail = true;
+  opts.include_wall = true;
+  std::ostringstream out;
+  tracer.ExportChromeTrace(out, opts);
+  auto doc = JsonParse(out.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* events = doc->Find("traceEvents");
+  ASSERT_EQ(events->array_value.size(), 2u);
+  const JsonValue& morsel = events->array_value[1];
+  EXPECT_TRUE(morsel.Find("args")->Find("detail")->bool_value);
+  EXPECT_DOUBLE_EQ(morsel.Find("tid")->number_value, 4);  // lane + 1
+  EXPECT_DOUBLE_EQ(morsel.Find("args")->Find("wall_dur_us")->number_value, 10);
+}
+
+TEST(ChromeExportTest, SnapshotsCountersWhenRequested) {
+  MetricsRegistry registry;
+  registry.counter("obs_test.alpha").Add(7);
+  registry.gauge("obs_test.beta").Set(-2);
+  Tracer tracer;
+  ExportOptions opts;
+  opts.metrics = &registry;
+  std::ostringstream out;
+  tracer.ExportChromeTrace(out, opts);
+  auto doc = JsonParse(out.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* counters = doc->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->Find("obs_test.alpha")->number_value, 7);
+  EXPECT_DOUBLE_EQ(counters->Find("obs_test.beta")->number_value, -2);
+}
+
+// ---------------- metrics ----------------
+
+TEST(MetricsTest, ConcurrentCountersSumExactly) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      // Get-or-create races on a handful of shared names on purpose.
+      Counter& counter =
+          registry.counter("metrics_test.c" + std::to_string(t % 4));
+      for (int i = 0; i < kIters; ++i) counter.Add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  int64_t total = 0;
+  for (const auto& [name, value] : registry.Snapshot()) total += value;
+  EXPECT_EQ(total, int64_t{kThreads} * kIters);
+}
+
+TEST(MetricsTest, RegistryReferencesAreStable) {
+  MetricsRegistry registry;
+  Counter& first = registry.counter("metrics_test.stable");
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("metrics_test.filler" + std::to_string(i));
+  }
+  EXPECT_EQ(&first, &registry.counter("metrics_test.stable"));
+}
+
+TEST(MetricsTest, MacroAccumulatesInTheGlobalRegistry) {
+  Counter& counter = GetCounter("metrics_test.macro");
+  counter.Reset();
+  IRONSAFE_COUNTER_ADD("metrics_test.macro", 3);
+  IRONSAFE_COUNTER_ADD("metrics_test.macro", 4);
+  EXPECT_EQ(counter.value(), 7);
+}
+
+// ---------------- JSON parser ----------------
+
+TEST(JsonTest, ParsesTheValueGrammar) {
+  auto doc = JsonParse(
+      R"({"a": [1, 2.5, -3e2, true, false, null], "b": {"nested": "A\n"}})");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* a = doc->Find("a");
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array_value.size(), 6u);
+  EXPECT_DOUBLE_EQ(a->array_value[2].number_value, -300.0);
+  EXPECT_TRUE(a->array_value[3].bool_value);
+  EXPECT_EQ(a->array_value[5].kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(doc->Find("b")->Find("nested")->string_value, "A\n");
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(JsonParse("").ok());
+  EXPECT_FALSE(JsonParse("{").ok());
+  EXPECT_FALSE(JsonParse("[1,]").ok());
+  EXPECT_FALSE(JsonParse("tru").ok());
+  EXPECT_FALSE(JsonParse("1 2").ok());          // trailing garbage
+  EXPECT_FALSE(JsonParse("\"\x01\"").ok());     // raw control char
+  EXPECT_FALSE(JsonParse(std::string(200, '[')).ok());  // depth bomb
+}
+
+TEST(JsonTest, QuoteRoundTrips) {
+  const std::string nasty = "a\"b\\c\nd\te\x1f";
+  auto doc = JsonParse(JsonQuote(nasty));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->string_value, nasty);
+}
+
+// ---------------- end-to-end determinism ----------------
+
+// Runs Q6 under IronSafe's split config on a freshly loaded system with
+// the given worker cap and returns the default (deterministic) export.
+std::string TraceOfScsRun(int workers) {
+  common::ThreadPool::set_max_workers(workers);
+  engine::CsaOptions options;
+  options.scale_factor = 0.001;
+  auto system = engine::CsaSystem::Create(options);
+  if (!system.ok()) return "create failed";
+  Status load = (*system)->Load([&](sql::Database* db) {
+    tpch::TpchGenerator gen(tpch::TpchConfig{options.scale_factor, 42});
+    return gen.LoadInto(db);
+  });
+  if (!load.ok()) return "load failed";
+  auto query = tpch::GetQuery(6);
+  if (!query.ok()) return "no query";
+
+  Tracer tracer;
+  {
+    ScopedTracer scope(&tracer);
+    auto outcome = (*system)->Run(engine::SystemConfig::kScs, (*query)->sql);
+    if (!outcome.ok()) return "run failed";
+  }
+  std::ostringstream out;
+  tracer.ExportChromeTrace(out, ExportOptions{});
+  return out.str();
+}
+
+TEST(TraceDeterminismTest, SimulatedTraceIsWorkerCountInvariant) {
+  std::string one = TraceOfScsRun(1);
+  std::string four = TraceOfScsRun(4);
+  common::ThreadPool::set_max_workers(0);  // restore the hardware default
+  ASSERT_TRUE(JsonParse(one).ok());
+  EXPECT_EQ(one, four);
+  EXPECT_NE(one.find("\"name\":\"query\""), std::string::npos);
+  EXPECT_NE(one.find("\"name\":\"storage-phase\""), std::string::npos);
+  EXPECT_NE(one.find("\"name\":\"host-phase\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ironsafe::obs

@@ -1,0 +1,36 @@
+# Smoke test for the --trace-json pipeline: run one figure bench with
+# tracing enabled, then validate the emitted Chrome trace with
+# trace_check (JSON parses, spans nest, per-phase durations sum to each
+# query root, required span names present).
+#
+# Invoked by ctest as:
+#   cmake -DBENCH=<fig8 binary> -DCHECK=<trace_check binary>
+#         -DOUT=<trace path> -P trace_smoke.cmake
+
+foreach(var BENCH CHECK OUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "trace_smoke.cmake requires -D${var}=...")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${BENCH} 0.001 --trace-json=${OUT}
+  RESULT_VARIABLE bench_rc
+  OUTPUT_VARIABLE bench_out
+  ERROR_VARIABLE bench_err)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench failed (rc=${bench_rc}):\n${bench_out}\n${bench_err}")
+endif()
+if(NOT bench_out MATCHES "trace written: ")
+  message(FATAL_ERROR "bench did not report writing a trace:\n${bench_out}")
+endif()
+
+execute_process(
+  COMMAND ${CHECK} ${OUT} query partition storage-phase host-phase scan ship
+  RESULT_VARIABLE check_rc
+  OUTPUT_VARIABLE check_out
+  ERROR_VARIABLE check_err)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "trace_check failed (rc=${check_rc}):\n${check_out}\n${check_err}")
+endif()
+message(STATUS "trace_smoke ok: ${check_out}")
