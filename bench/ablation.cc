@@ -78,9 +78,9 @@ int Main(int argc, char** argv) {
     BENCH_ASSIGN(auto whole_run, system->Run(SystemConfig::kScs, q.sql));
     std::printf("%-30s %14.3f %14.1f %14.3f %14.1f\n", q.label,
                 filter_run.cost.elapsed_ms(),
-                filter_run.shipped_bytes / 1024.0,
+                static_cast<double>(filter_run.shipped_bytes) / 1024.0,
                 whole_run.cost.elapsed_ms(),
-                whole_run.shipped_bytes / 1024.0);
+                static_cast<double>(whole_run.shipped_bytes) / 1024.0);
   }
   system->set_aggregation_pushdown(false);
   std::printf("(whole-query pushdown ships only the final rows; the win "

@@ -50,7 +50,7 @@ int Main(int argc, char** argv) {
     double baseline_ms = 0;
     for (const auto& budget : kBudgets) {
       system->set_storage_memory_bytes(std::max<uint64_t>(
-          4096, static_cast<uint64_t>(budget.fraction * db_bytes)));
+          4096, static_cast<uint64_t>(budget.fraction * static_cast<double>(db_bytes))));
       BENCH_ASSIGN(auto sos, system->Run(SystemConfig::kSos, query.sql));
       double ms = sos.cost.elapsed_ms();
       if (baseline_ms == 0) baseline_ms = ms;

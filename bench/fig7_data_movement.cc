@@ -28,8 +28,8 @@ int Main(int argc, char** argv) {
   for (const auto& query : tpch::Queries()) {
     BENCH_ASSIGN(auto hons, system->Run(SystemConfig::kHons, query.sql));
     BENCH_ASSIGN(auto vcs, system->Run(SystemConfig::kVcs, query.sql));
-    double host_only_kib = hons.cost.network_bytes() / 1024.0;
-    double cs_kib = vcs.cost.network_bytes() / 1024.0;
+    double host_only_kib = static_cast<double>(hons.cost.network_bytes()) / 1024.0;
+    double cs_kib = static_cast<double>(vcs.cost.network_bytes()) / 1024.0;
     double reduction = cs_kib > 0 ? host_only_kib / cs_kib : 0;
     sum += reduction;
     ++n;

@@ -28,10 +28,10 @@ int Main(int argc, char** argv) {
     BENCH_ASSIGN(auto scs, system->Run(SystemConfig::kScs, query.sql));
     const sim::CostModel& c = scs.cost;
     double total = static_cast<double>(c.elapsed_ns());
-    double ndp = 100.0 * (c.compute_ns() + c.disk_ns()) / total;
-    double fresh = 100.0 * c.freshness_ns() / total;
-    double decrypt = 100.0 * c.decrypt_ns() / total;
-    double network = 100.0 * c.network_ns() / total;
+    double ndp = 100.0 * static_cast<double>(c.compute_ns() + c.disk_ns()) / total;
+    double fresh = 100.0 * static_cast<double>(c.freshness_ns()) / total;
+    double decrypt = 100.0 * static_cast<double>(c.decrypt_ns()) / total;
+    double network = 100.0 * static_cast<double>(c.network_ns()) / total;
     double other = 100.0 - ndp - fresh - decrypt - network;
     std::printf("%5d %10.3f %7.1f%% %10.1f%% %8.1f%% %8.1f%% %6.1f%%\n",
                 query.number, c.elapsed_ms(), ndp, fresh, decrypt, network,

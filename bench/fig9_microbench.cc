@@ -85,8 +85,8 @@ int Main(int argc, char** argv) {
     BENCH_ASSIGN(auto total, system->Run(SystemConfig::kSos,
                                          "SELECT count(*) FROM lineitem"));
     BENCH_ASSIGN(auto matching, system->Run(SystemConfig::kSos, count_q));
-    double sel = 100.0 * matching.result.rows[0][0].AsInt() /
-                 total.result.rows[0][0].AsInt();
+    double sel = 100.0 * static_cast<double>(matching.result.rows[0][0].AsInt()) /
+                 static_cast<double>(total.result.rows[0][0].AsInt());
     BENCH_ASSIGN(auto hos, system->Run(SystemConfig::kHos, q));
     BENCH_ASSIGN(auto scs, system->Run(SystemConfig::kScs, q));
     BENCH_ASSIGN(auto sos, system->Run(SystemConfig::kSos, q));
@@ -104,8 +104,8 @@ int Main(int argc, char** argv) {
     BENCH_ASSIGN(const tpch::TpchQuery* query, tpch::GetQuery(qnum));
     BENCH_ASSIGN(auto sos, system->Run(SystemConfig::kSos, query->sql));
     double total = static_cast<double>(sos.cost.elapsed_ns());
-    double fresh = 100.0 * sos.cost.freshness_ns() / total;
-    double decrypt = 100.0 * sos.cost.decrypt_ns() / total;
+    double fresh = 100.0 * static_cast<double>(sos.cost.freshness_ns()) / total;
+    double decrypt = 100.0 * static_cast<double>(sos.cost.decrypt_ns()) / total;
     std::printf("%5d %10.3f %10.1f%% %8.1f%% %7.1f%%\n", qnum,
                 sos.cost.elapsed_ms(), fresh, decrypt,
                 100.0 - fresh - decrypt);

@@ -87,8 +87,9 @@ int main() {
   std::printf("\nrewritten query: %s\n", result.rewritten_sql.c_str());
   std::printf("offloaded to storage: %s\n", result.offloaded ? "yes" : "no");
   std::printf("simulated latency: %.3f ms (monitor %.3f + execution %.3f)\n",
-              result.total_ns() / 1e6, result.monitor_ns / 1e6,
-              result.execution_ns / 1e6);
+              static_cast<double>(result.total_ns()) / 1e6,
+              static_cast<double>(result.monitor_ns) / 1e6,
+              static_cast<double>(result.execution_ns) / 1e6);
 
   // 6. Anyone holding the monitor's public key can verify the proof.
   bool proof_ok = ironsafe::monitor::TrustedMonitor::VerifyProof(

@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
     std::printf("%-6s %14.3f %12.1f %14llu %12llu %12zu\n",
                 std::string(SystemConfigName(config)).c_str(),
                 outcome.cost.elapsed_ms(),
-                outcome.cost.network_bytes() / 1024.0,
+                static_cast<double>(outcome.cost.network_bytes()) / 1024.0,
                 static_cast<unsigned long long>(
                     outcome.cost.enclave_transitions()),
                 static_cast<unsigned long long>(outcome.cost.epc_faults()),

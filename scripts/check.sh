@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Full verification matrix, runnable locally and in CI:
+#
+#   scripts/check.sh              # default build + ctest (incl. lint_tree),
+#                                 # then ASan and UBSan builds + ctest
+#   scripts/check.sh --fast      # default build + ctest only
+#   scripts/check.sh --tsan      # also run the ThreadSanitizer leg
+#
+# TSan is the opt-in third leg: it only exercises real interleavings on a
+# multi-core host (see docs/STATIC_ANALYSIS.md and docs/OBSERVABILITY.md's
+# single-CPU CI caveat), so CI runs it on demand rather than per-push.
+# clang-tidy runs when the binary is available (the configure step always
+# exports compile_commands.json).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+FAST=0
+TSAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    --tsan) TSAN=1 ;;
+    *) echo "usage: scripts/check.sh [--fast] [--tsan]" >&2; exit 2 ;;
+  esac
+done
+
+build_and_test() {
+  local dir="$1" sanitize="$2"
+  echo "==> configure ${dir} (sanitize='${sanitize}')"
+  cmake -B "$dir" -S . -DIRONSAFE_SANITIZE="$sanitize" >/dev/null
+  echo "==> build ${dir}"
+  cmake --build "$dir" -j "$JOBS"
+  echo "==> ctest ${dir}"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+build_and_test build ""
+
+echo "==> ironsafe_lint (also gated by ctest -R lint_tree)"
+./build/tools/ironsafe_lint/ironsafe_lint --root . \
+  --json build/lint_report.json
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "==> clang-tidy (baseline .clang-tidy, compile_commands from build/)"
+  clang-tidy -p build --quiet src/*/*.cc
+else
+  echo "==> clang-tidy not installed; skipping (config: .clang-tidy)"
+fi
+
+if [ "$FAST" -eq 1 ]; then
+  echo "OK (fast: default build only)"
+  exit 0
+fi
+
+build_and_test build-asan address
+build_and_test build-ubsan undefined
+if [ "$TSAN" -eq 1 ]; then
+  build_and_test build-tsan thread
+fi
+
+echo "OK"

@@ -178,7 +178,7 @@ void Pack(uint8_t* r, Gf p[4]) {
   Mul(tx, p[0], zi);
   Mul(ty, p[1], zi);
   Pack25519(r, ty);
-  r[31] ^= Par25519(tx) << 7;
+  r[31] ^= static_cast<uint8_t>(Par25519(tx) << 7);
 }
 
 void ScalarMult(Gf p[4], Gf q[4], const uint8_t* s) {

@@ -50,7 +50,8 @@ Result<Bytes> ConfigurablePageStore::ChargedRead(uint64_t id,
           1.0 - std::min(1.0, static_cast<double>(epc) /
                                   static_cast<double>(working_set_bytes_));
       uint64_t touches = 1 + merkle_depth_;
-      auto faults = static_cast<uint64_t>(fault_fraction * touches + 0.5);
+      auto faults = static_cast<uint64_t>(
+          fault_fraction * static_cast<double>(touches) + 0.5);
       if (faults > 0) IRONSAFE_COUNTER_ADD("tee.sgx.epc_faults", faults);
       for (uint64_t i = 0; i < faults; ++i) cost->ChargeEpcFault();
     } else {

@@ -29,10 +29,14 @@ std::string NsAsUsString(sim::SimNanos ns) {
 Tracer* CurrentTracer() { return tls_tracer; }
 void SetCurrentTracer(Tracer* tracer) { tls_tracer = tracer; }
 
-Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+// Wall-clock fields feed only the opt-in --trace-wall lane and are
+// excluded from the default deterministic export (see Span docs).
+Tracer::Tracer()
+    : epoch_(std::chrono::steady_clock::now()) {}  // ironsafe-lint: allow(determinism)
 
 int64_t Tracer::WallNowUs() const {
   return std::chrono::duration_cast<std::chrono::microseconds>(
+             // ironsafe-lint: allow(determinism) — opt-in wall lane only
              std::chrono::steady_clock::now() - epoch_)
       .count();
 }

@@ -133,6 +133,7 @@ class Tracer {
   std::vector<Span> spans_;
   std::vector<OpenState> open_;  // innermost last
   sim::SimNanos root_cursor_ = 0;
+  // ironsafe-lint: allow(determinism) — epoch for the opt-in wall lane
   std::chrono::steady_clock::time_point epoch_;
 };
 

@@ -49,7 +49,8 @@ std::string_view PredName(PredKind k) {
 
 std::string Lower(std::string_view s) {
   std::string out(s);
-  for (char& c : out) c = std::tolower(static_cast<unsigned char>(c));
+  for (char& c : out)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
   return out;
 }
 

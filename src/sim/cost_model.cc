@@ -138,15 +138,15 @@ void CostModel::Reset() {
 
 std::string CostModel::Summary() const {
   std::ostringstream os;
+  auto ms = [](SimNanos ns) { return static_cast<double>(ns) / 1e6; };
   os << "total=" << elapsed_ms() << "ms"
-     << " compute=" << compute_ns_ / 1e6 << "ms"
-     << " disk=" << disk_ns_ / 1e6 << "ms"
-     << " net=" << network_ns_ / 1e6 << "ms"
-     << " transitions=" << transitions_ << " (" << transition_ns_ / 1e6
-     << "ms)"
-     << " epc_faults=" << epc_faults_ << " (" << epc_fault_ns_ / 1e6 << "ms)"
-     << " decrypt=" << decrypt_ns_ / 1e6 << "ms"
-     << " freshness=" << freshness_ns_ / 1e6 << "ms";
+     << " compute=" << ms(compute_ns_) << "ms"
+     << " disk=" << ms(disk_ns_) << "ms"
+     << " net=" << ms(network_ns_) << "ms"
+     << " transitions=" << transitions_ << " (" << ms(transition_ns_) << "ms)"
+     << " epc_faults=" << epc_faults_ << " (" << ms(epc_fault_ns_) << "ms)"
+     << " decrypt=" << ms(decrypt_ns_) << "ms"
+     << " freshness=" << ms(freshness_ns_) << "ms";
   return os.str();
 }
 

@@ -261,8 +261,9 @@ Result<Value> Evaluator::EvalFunction(const Expr& e,
     if (args[0].is_null()) return Value::Null();
     std::string s = args[0].AsString();
     for (char& c : s) {
-      c = f == "upper" ? std::toupper(static_cast<unsigned char>(c))
-                       : std::tolower(static_cast<unsigned char>(c));
+      c = static_cast<char>(f == "upper"
+                                ? std::toupper(static_cast<unsigned char>(c))
+                                : std::tolower(static_cast<unsigned char>(c)));
     }
     return Value::String(std::move(s));
   }

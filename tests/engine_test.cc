@@ -212,8 +212,8 @@ TEST_P(ConfigEquivalence, AllConfigsAgree) {
 
 INSTANTIATE_TEST_SUITE_P(SelectedQueries, ConfigEquivalence,
                          ::testing::Values(3, 5, 6, 10, 12, 14, 19),
-                         [](const auto& info) {
-                           return "Q" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                           return "Q" + std::to_string(param_info.param);
                          });
 
 // ---------------- morsel-parallel determinism ----------------
@@ -291,8 +291,8 @@ TEST_P(ParallelDeterminism, RealWorkerCountInvariantUnderHos) {
 
 INSTANTIATE_TEST_SUITE_P(Queries, ParallelDeterminism,
                          ::testing::Values(3, 6),
-                         [](const auto& info) {
-                           return "Q" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                           return "Q" + std::to_string(param_info.param);
                          });
 
 TEST_F(CsaSystemTest, StorageCoresKnobKeepsRowsAndStatsIdentical) {

@@ -1,0 +1,9 @@
+#ifndef IRONSAFE_TESTS_LINT_FIXTURES_CYCLE_A_H_
+#define IRONSAFE_TESTS_LINT_FIXTURES_CYCLE_A_H_
+
+// Half of a deliberate include cycle for the cross-file layering check.
+#include "cycle/b.h"
+
+inline int A() { return B() + 1; }
+
+#endif  // IRONSAFE_TESTS_LINT_FIXTURES_CYCLE_A_H_

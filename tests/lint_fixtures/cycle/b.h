@@ -1,0 +1,9 @@
+#ifndef IRONSAFE_TESTS_LINT_FIXTURES_CYCLE_B_H_
+#define IRONSAFE_TESTS_LINT_FIXTURES_CYCLE_B_H_
+
+// Other half of the deliberate include cycle.
+#include "cycle/a.h"
+
+inline int B() { return 0; }
+
+#endif  // IRONSAFE_TESTS_LINT_FIXTURES_CYCLE_B_H_

@@ -1,0 +1,16 @@
+// Linted as src/sim/determinism_clean.cc: seeded PRNG and simulated
+// time only. Banned names inside strings/comments must not fire:
+// rand( srand( std::random_device system_clock time(
+#include <string>
+
+#include "common/random.h"
+
+namespace ironsafe::sim {
+struct Clock {
+  long time(long t) { return t; }  // member call sites are fine
+};
+long Ok(Clock& c) {
+  std::string doc = "call rand( or time( at your peril";
+  return c.time(static_cast<long>(doc.size()));
+}
+}  // namespace ironsafe::sim

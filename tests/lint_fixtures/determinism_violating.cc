@@ -1,0 +1,16 @@
+// Linted as src/sim/determinism_violating.cc: ambient clocks and
+// unseeded randomness, each of which breaks bit-identical replay.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+namespace ironsafe::sim {
+long Bad() {
+  std::random_device rd;
+  srand(42);
+  long x = rand();
+  auto now = std::chrono::system_clock::now();
+  (void)now;
+  return x + static_cast<long>(time(nullptr)) + rd();
+}
+}  // namespace ironsafe::sim

@@ -1,0 +1,11 @@
+// Linted as src/tee/enclave_violating.cc: secure-world code reaching
+// untrusted host I/O three different ways.
+#include <iostream>
+
+#include "common/logging.h"
+
+namespace ironsafe::tee {
+void Leak(int code) {
+  printf("leaking %d\n", code);
+}
+}  // namespace ironsafe::tee

@@ -1,0 +1,11 @@
+#ifndef IRONSAFE_TESTS_LINT_FIXTURES_HYGIENE_CLEAN_H_
+#define IRONSAFE_TESTS_LINT_FIXTURES_HYGIENE_CLEAN_H_
+
+// Linted as src/sql/hygiene_clean.h: guarded, fully qualified names.
+#include <string>
+
+namespace ironsafe::sql {
+inline std::string Greet() { return "hi"; }
+}  // namespace ironsafe::sql
+
+#endif  // IRONSAFE_TESTS_LINT_FIXTURES_HYGIENE_CLEAN_H_

@@ -1,0 +1,9 @@
+#pragma once
+
+// Linted as src/sql/hygiene_pragma_once.h: #pragma once is an accepted
+// include guard.
+#include <string>
+
+namespace ironsafe::sql {
+inline std::string Greet() { return "hi"; }
+}  // namespace ironsafe::sql

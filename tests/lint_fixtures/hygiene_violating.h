@@ -1,0 +1,9 @@
+// Linted as src/sql/hygiene_violating.h: no include guard, and a
+// namespace-polluting using-directive.
+#include <string>
+
+using namespace std;
+
+namespace ironsafe::sql {
+inline string Greet() { return "hi"; }
+}  // namespace ironsafe::sql

@@ -1,0 +1,10 @@
+// Linted as src/crypto/layering_clean.cc: common is crypto's only
+// declared dependency, and same-directory includes are always fine.
+#include "sha256.h"
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace ironsafe::crypto {
+int Unused() { return 0; }
+}  // namespace ironsafe::crypto

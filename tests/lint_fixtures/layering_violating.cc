@@ -1,0 +1,9 @@
+// Linted as src/crypto/layering_violating.cc: crypto sits near the
+// bottom of the DAG and must not reach up into engine or policy.
+#include "common/bytes.h"
+#include "engine/ironsafe.h"
+#include "policy/policy.h"
+
+namespace ironsafe::crypto {
+int Unused() { return 0; }
+}  // namespace ironsafe::crypto

@@ -1,0 +1,17 @@
+// Linted as src/sim/suppression.cc: every violation here carries an
+// allow() for its rule — the file must lint clean — except the last,
+// whose allow() names a different rule and must still fire.
+#include <chrono>
+#include <cstdlib>
+
+namespace ironsafe::sim {
+long Shim() {
+  // ironsafe-lint: allow(determinism) — fixture: comment-above form
+  auto t = std::chrono::system_clock::now();
+  long r = rand();  // ironsafe-lint: allow(determinism) — same-line form
+  (void)t;
+  // ironsafe-lint: allow(hygiene) — wrong rule: the next line must fire
+  srand(7);
+  return r;
+}
+}  // namespace ironsafe::sim

@@ -1,0 +1,26 @@
+// Linted as src/obs/unordered_clean.cc (an ordered-output file): keyed
+// lookups into an unordered_map are fine, and so is iterating through a
+// sorting adapter — only bare hash-order walks serialize hash order.
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace ironsafe::obs {
+
+std::map<std::string, int> Sorted(
+    const std::unordered_map<std::string, int>& m) {
+  return {m.begin(), m.end()};  // ironsafe-lint: allow(determinism)
+}
+
+std::string Export(const std::unordered_map<std::string, int>& counters) {
+  std::string out;
+  for (const auto& [k, v] : Sorted(counters)) {
+    out += k;
+    out += static_cast<char>('0' + v % 10);
+  }
+  auto it = counters.find("queries");
+  if (it != counters.end()) out += it->first;
+  return out;
+}
+
+}  // namespace ironsafe::obs

@@ -1,0 +1,18 @@
+// Linted as src/obs/unordered_violating.cc (an ordered-output file):
+// serializing an unordered_map in hash order, two ways.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ironsafe::obs {
+std::string Export(const std::unordered_map<std::string, int>& counters,
+                   const std::unordered_set<std::string>& names) {
+  std::string out;
+  for (const auto& [k, v] : counters) {
+    out += k;
+    out += static_cast<char>('0' + v % 10);
+  }
+  for (auto it = names.begin(); it != names.end(); ++it) out += *it;
+  return out;
+}
+}  // namespace ironsafe::obs

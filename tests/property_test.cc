@@ -173,7 +173,8 @@ TEST(ValueOrderProperty, CompareIsAntisymmetricAndTransitiveOnSamples) {
       case 3: values.push_back(sql::Value::Date(rng.UniformRange(0, 10000))); break;
       default:
         values.push_back(
-            sql::Value::String(std::string(1 + rng.Uniform(4), 'a' + rng.Uniform(26))));
+            sql::Value::String(std::string(1 + rng.Uniform(4),
+                        static_cast<char>('a' + rng.Uniform(26)))));
     }
   }
   for (const auto& a : values) {
@@ -206,7 +207,7 @@ TEST(LikeProperty, PercentIsReflexivePrefixSuffix) {
   Random rng(7);
   for (int i = 0; i < 100; ++i) {
     std::string s(rng.Uniform(12), 'x');
-    for (auto& c : s) c = 'a' + rng.Uniform(3);
+    for (auto& c : s) c = static_cast<char>('a' + rng.Uniform(3));
     EXPECT_TRUE(sql::LikeMatch(s, s));
     EXPECT_TRUE(sql::LikeMatch(s, s + "%"));
     EXPECT_TRUE(sql::LikeMatch(s, "%" + s));

@@ -35,7 +35,8 @@ TEST(CostModelTest, StorageCoreHotplugAffectsParallelWork) {
   cm.ChargeParallelCycles(Site::kStorage, 1'000'000, 16);
   CostModel full;
   full.ChargeParallelCycles(Site::kStorage, 1'000'000, 16);
-  EXPECT_NEAR(static_cast<double>(cm.elapsed_ns()) / full.elapsed_ns(), 16.0,
+  EXPECT_NEAR(static_cast<double>(cm.elapsed_ns()) /
+                  static_cast<double>(full.elapsed_ns()), 16.0,
               0.5);
 }
 

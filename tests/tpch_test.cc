@@ -104,8 +104,8 @@ TEST_P(TpchExtendedRuns, ExecutesSuccessfully) {
 
 INSTANTIATE_TEST_SUITE_P(Extended, TpchExtendedRuns,
                          ::testing::Values(1, 11, 15, 17, 20, 22),
-                         [](const auto& info) {
-                           return "Q" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                           return "Q" + std::to_string(param_info.param);
                          });
 
 TEST_F(TpchTest, Q1AggregatesAreInternallyConsistent) {
@@ -117,7 +117,7 @@ TEST_F(TpchTest, Q1AggregatesAreInternallyConsistent) {
     double sum_qty = row[2].AsDouble();
     double avg_qty = row[6].AsDouble();
     int64_t count = row[9].AsInt();
-    EXPECT_NEAR(avg_qty * count, sum_qty, 1e-6);
+    EXPECT_NEAR(avg_qty * static_cast<double>(count), sum_qty, 1e-6);
     // Discounted price never exceeds base price.
     EXPECT_LE(row[4].AsDouble(), row[3].AsDouble() + 1e-9);
   }
@@ -140,8 +140,8 @@ TEST_P(TpchQueryRuns, ExecutesSuccessfully) {
 INSTANTIATE_TEST_SUITE_P(AllQueries, TpchQueryRuns,
                          ::testing::Values(2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 13,
                                            14, 16, 18, 19, 21),
-                         [](const auto& info) {
-                           return "Q" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                           return "Q" + std::to_string(param_info.param);
                          });
 
 // Spot-check selected query semantics.

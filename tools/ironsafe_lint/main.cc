@@ -1,0 +1,53 @@
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "tools/ironsafe_lint/lint.h"
+
+// ironsafe_lint [--root <dir>] [--json <out>] [subtree...]
+//
+// Walks src/, bench/, and tests/ under --root (default: cwd), prints
+// one "file:line: [rule] message" diagnostic per violation, and exits
+// nonzero when any are found. --json additionally writes the
+// machine-readable report. Explicit subtree arguments replace the
+// default walk roots.
+int main(int argc, char** argv) {
+  ironsafe::lint::Options opts;
+  std::string json_path;
+  std::vector<std::string> subtrees;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto take_value = [&](const char* flag) -> std::string {
+      std::string prefix = std::string(flag) + "=";
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      if (arg == flag && i + 1 < argc) return argv[++i];
+      return "";
+    };
+    if (arg.rfind("--root", 0) == 0) {
+      opts.tree_root = take_value("--root");
+    } else if (arg.rfind("--json", 0) == 0) {
+      json_path = take_value("--json");
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: ironsafe_lint [--root <dir>] [--json <out>] "
+                  "[subtree...]\n");
+      return 0;
+    } else {
+      subtrees.push_back(arg);
+    }
+  }
+  if (!subtrees.empty()) opts.roots = subtrees;
+
+  ironsafe::lint::Report report = ironsafe::lint::LintTree(opts);
+  for (const auto& d : report.diagnostics) {
+    std::printf("%s:%d: [%s] %s\n", d.file.c_str(), d.line, d.rule.c_str(),
+                d.message.c_str());
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    out << ironsafe::lint::ReportToJson(report) << "\n";
+  }
+  std::printf("ironsafe_lint: %d file(s) scanned, %zu violation(s)\n",
+              report.files_scanned, report.diagnostics.size());
+  return report.diagnostics.empty() ? 0 : 1;
+}
