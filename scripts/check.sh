@@ -37,6 +37,15 @@ build_and_test() {
 
 build_and_test build ""
 
+echo "==> fault-seed sweep (ctest -L fault under 10 seeds)"
+for seed in $(seq 1 10); do
+  IRONSAFE_FAULT_SEED="$seed" ctest --test-dir build -L fault \
+    --output-on-failure -j "$JOBS" >/dev/null \
+    || { echo "fault sweep FAILED at seed $seed" >&2
+         IRONSAFE_FAULT_SEED="$seed" ctest --test-dir build -L fault \
+           --output-on-failure -j "$JOBS"; exit 1; }
+done
+
 echo "==> ironsafe_lint (also gated by ctest -R lint_tree)"
 ./build/tools/ironsafe_lint/ironsafe_lint --root . \
   --json build/lint_report.json

@@ -21,6 +21,7 @@ enum class StatusCode {
   kResourceExhausted,  ///< e.g. simulated EPC or memory cap hit
   kUnimplemented,
   kInternal,
+  kUnavailable,        ///< transiently unreachable (dropped frame, node down)
 };
 
 /// Returns a stable human-readable name, e.g. "Corruption".
@@ -76,6 +77,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -93,6 +97,7 @@ class Status {
   bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;
   }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -4,7 +4,9 @@
 
 #include "common/thread_pool.h"
 #include "net/wire.h"
+#include "obs/retry.h"
 #include "obs/trace.h"
+#include "sim/fault.h"
 #include "sql/parser.h"
 
 namespace ironsafe::engine {
@@ -37,8 +39,18 @@ Result<Bytes> ConfigurablePageStore::ChargedRead(uint64_t id,
   ASSIGN_OR_RETURN(Bytes page, inner_->ReadPage(id, cost));
   if (remote_ && cost != nullptr) cost->ChargeNetworkBytes(page.size());
   if (enclave_ != nullptr) {
-    // The enclave exits to fetch the page (SCONE-style ocall, §6.2).
-    enclave_->EnterExit(cost);
+    // The enclave exits to fetch the page (SCONE-style ocall, §6.2). An
+    // aborted ecall is re-entered with backoff (the SDK's standard
+    // recovery); the retry machinery stays off this hot path until a
+    // first plain attempt actually fails.
+    Status ecall = enclave_->EnterExit(cost);
+    if (!ecall.ok()) {
+      RetryPolicy policy = obs::ObservedRetryPolicy("tee.ecall", cost);
+      policy.retryable = [](const Status& s) { return s.IsUnavailable(); };
+      RETURN_IF_ERROR(ResumeRetryWithBackoff(
+          policy, std::move(ecall),
+          [&]() -> Status { return enclave_->EnterExit(cost); }));
+    }
     // Verifying a page inside the enclave touches the data page plus one
     // Merkle node per tree level. With a working set beyond the EPC, a
     // fraction ≈ 1 - EPC/working_set of those touches fault — the
@@ -251,13 +263,8 @@ Result<QueryOutcome> CsaSystem::Run(SystemConfig config,
   return Status::InvalidArgument("unknown system configuration");
 }
 
-Result<QueryOutcome> CsaSystem::RunHostOnly(const std::string& sql,
-                                            bool secure) {
-  QueryOutcome outcome;
-  outcome.cost = sim::CostModel(options_.hardware);
-  obs::SpanGuard query_span("query", "engine", &outcome.cost);
-  query_span.Tag("config", SystemConfigName(secure ? SystemConfig::kHos
-                                                   : SystemConfig::kHons));
+Status CsaSystem::ExecuteHostOnly(const std::string& sql, bool secure,
+                                  QueryOutcome* outcome) {
   sql::Database* db = secure ? secure_db_.get() : plain_db_.get();
   ConfigurablePageStore* access =
       secure ? secure_access_.get() : plain_access_.get();
@@ -276,8 +283,8 @@ Result<QueryOutcome> CsaSystem::RunHostOnly(const std::string& sql,
 
   sql::ExecOptions opts;  // host site
   opts.parallelism = options_.host_parallelism;
-  obs::SpanGuard exec_span("host-execute", "engine", &outcome.cost);
-  auto result = db->Execute(sql, &outcome.cost, opts);
+  obs::SpanGuard exec_span("host-execute", "engine", &outcome->cost);
+  auto result = db->Execute(sql, &outcome->cost, opts);
   exec_span.Tag("pages_read", static_cast<int64_t>(access->pages_read()));
   exec_span.Tag("cache_hits", static_cast<int64_t>(access->cache_hits()));
   exec_span.Close();
@@ -287,8 +294,19 @@ Result<QueryOutcome> CsaSystem::RunHostOnly(const std::string& sql,
   if (secure) secure_store_->set_site(sim::Site::kStorage);
   RETURN_IF_ERROR(result.status());
 
-  outcome.result = std::move(*result);
-  outcome.host_pages_read = access->pages_read();
+  outcome->result = std::move(*result);
+  outcome->host_pages_read = access->pages_read();
+  return Status::OK();
+}
+
+Result<QueryOutcome> CsaSystem::RunHostOnly(const std::string& sql,
+                                            bool secure) {
+  QueryOutcome outcome;
+  outcome.cost = sim::CostModel(options_.hardware);
+  obs::SpanGuard query_span("query", "engine", &outcome.cost);
+  query_span.Tag("config", SystemConfigName(secure ? SystemConfig::kHos
+                                                   : SystemConfig::kHons));
+  RETURN_IF_ERROR(ExecuteHostOnly(sql, secure, &outcome));
   outcome.host_phase_ns = outcome.cost.elapsed_ns();
   return outcome;
 }
@@ -364,7 +382,16 @@ Result<QueryOutcome> CsaSystem::RunSplit(const std::string& sql, bool secure) {
   // Phase 1: near-data fragments on the storage engine.
   obs::SpanGuard storage_span("storage-phase", "engine", &outcome.cost);
   auto host_db = sql::Database::CreateInMemory();
+  Status storage_status = Status::OK();
   for (const auto& frag : plan.fragments) {
+    // Injected storage-node outage mid-query: abandon the split plan and
+    // degrade to host-side execution below.
+    if (sim::FaultAt(sim::fault_site::kEngineStorageDown)) {
+      storage_status =
+          Status::Unavailable("injected: storage node down before fragment " +
+                              frag.dest_table);
+      break;
+    }
     obs::SpanGuard frag_span("fragment", "engine", &outcome.cost);
     frag_span.Tag("source", frag.source_table);
     frag_span.Tag("dest", frag.dest_table);
@@ -381,11 +408,32 @@ Result<QueryOutcome> CsaSystem::RunSplit(const std::string& sql, bool secure) {
     outcome.shipped_bytes += wire.size();
     sql::QueryResult shipped;
     if (secure) {
-      ASSIGN_OR_RETURN(Bytes frame, storage_end->Send(wire, &outcome.cost));
-      // Receiving on the host enters the enclave once per batch.
-      host_enclave_->EnterExit(&outcome.cost);
-      ASSIGN_OR_RETURN(Bytes opened, host_end->Receive(frame, &outcome.cost));
-      ASSIGN_OR_RETURN(shipped, net::DeserializeResult(opened));
+      // One ship round trip, with recovery. A dropped frame leaves both
+      // endpoints' state untouched, so a plain re-send heals it; a frame
+      // the host *rejects* means the endpoints may have desynced, so the
+      // channel pair is re-keyed (monitor-style session-key distribution)
+      // before the retry re-sends.
+      RetryPolicy ship_policy =
+          obs::ObservedRetryPolicy("net.ship", &outcome.cost);
+      auto opened = RetryWithBackoff<Bytes>(
+          ship_policy, [&]() -> Result<Bytes> {
+            ASSIGN_OR_RETURN(Bytes frame,
+                             storage_end->Send(wire, &outcome.cost));
+            // Receiving on the host enters the enclave once per batch.
+            RETURN_IF_ERROR(host_enclave_->EnterExit(&outcome.cost));
+            auto result = host_end->Receive(frame, &outcome.cost);
+            if (!result.ok()) {
+              IRONSAFE_COUNTER_ADD("net.channel.rehandshakes", 1);
+              Bytes session_key = channel_drbg_.Generate(32);
+              ASSIGN_OR_RETURN(auto pair,
+                               net::Handshake::FromSessionKey(session_key));
+              host_end = std::move(pair.first);
+              storage_end = std::move(pair.second);
+            }
+            return result;
+          });
+      RETURN_IF_ERROR(opened.status());
+      ASSIGN_OR_RETURN(shipped, net::DeserializeResult(*opened));
     } else {
       outcome.cost.ChargeNetwork(wire.size());
       ASSIGN_OR_RETURN(shipped, net::DeserializeResult(wire));
@@ -414,6 +462,21 @@ Result<QueryOutcome> CsaSystem::RunSplit(const std::string& sql, bool secure) {
   storage_span.Tag("shipped_bytes",
                    static_cast<int64_t>(outcome.shipped_bytes));
   storage_span.Close();
+
+  // Graceful degradation: with the storage node down, discard the partial
+  // split state and run the whole query host-side (the host-only path of
+  // Table 2) against the same stores, so the caller still gets the exact
+  // result rows — at host-only cost.
+  if (!storage_status.ok()) {
+    IRONSAFE_COUNTER_ADD("engine.host_fallbacks", 1);
+    obs::SpanGuard fallback_span("host-fallback", "engine", &outcome.cost);
+    fallback_span.Tag("reason", storage_status.message());
+    RETURN_IF_ERROR(ExecuteHostOnly(sql, secure, &outcome));
+    fallback_span.Close();
+    outcome.host_phase_ns =
+        outcome.cost.elapsed_ns() - outcome.storage_phase_ns;
+    return outcome;
+  }
 
   // Phase 2: the host engine runs the remainder over the shipped tables.
   obs::SpanGuard host_span("host-phase", "engine", &outcome.cost);

@@ -203,6 +203,13 @@ class CsaSystem {
   Result<QueryOutcome> RunSplit(const std::string& sql, bool secure);
   Result<QueryOutcome> RunStorageOnly(const std::string& sql);
 
+  /// Host-side execution body shared by RunHostOnly and the graceful
+  /// degradation path RunSplit takes when the storage node goes down:
+  /// runs the whole query on the host against `outcome`'s cost model and
+  /// fills in result and host page counts (not the phase timings).
+  Status ExecuteHostOnly(const std::string& sql, bool secure,
+                         QueryOutcome* outcome);
+
   sql::ExecOptions StorageExecOptions() const;
 
   CsaOptions options_;

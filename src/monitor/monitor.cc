@@ -149,7 +149,7 @@ Result<Authorization> TrustedMonitor::AuthorizeStatement(
     std::optional<int64_t> insert_reuse, sim::CostModel* cost) {
   // The monitor itself runs inside an enclave; entering it costs one
   // transition (§4.2 control path).
-  enclave_->EnterExit(cost);
+  RETURN_IF_ERROR(enclave_->EnterExit(cost));
 
   auto client = clients_.find(client_key_id);
   if (client == clients_.end()) {

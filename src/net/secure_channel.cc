@@ -3,6 +3,7 @@
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
 #include "obs/metrics.h"
+#include "sim/fault.h"
 
 namespace ironsafe::net {
 
@@ -42,14 +43,29 @@ Result<std::unique_ptr<SecureChannel>> BuildChannel(const KeySchedule& ks,
 
 Result<Bytes> SecureChannel::Send(const Bytes& plaintext,
                                   sim::CostModel* cost) {
+  // Injected link loss before the send commits: the sequence number does
+  // not advance, so a plain re-send of the same plaintext recovers.
+  if (sim::FaultAt(sim::fault_site::kNetSendDrop)) {
+    IRONSAFE_COUNTER_ADD("net.channel.injected_drops", 1);
+    return Status::Unavailable("injected: frame dropped before send at seq " +
+                               std::to_string(send_seq_));
+  }
   Bytes aad;
   PutU64(&aad, send_seq_);
   Append(&aad, session_id_);
   Bytes nonce(crypto::Aead::kNonceSize, 0);
   PutU64(&nonce, send_seq_);
   nonce.resize(crypto::Aead::kNonceSize);
-  ++send_seq_;
   ASSIGN_OR_RETURN(Bytes frame, send_aead_.Seal(nonce, aad, plaintext));
+  // Send state advances only after the frame is sealed, so a Seal failure
+  // (or the injected drop above) leaves the channel usable as-is.
+  ++send_seq_;
+  // Injected in-transit damage after the send committed: the receiver will
+  // reject the frame, and the endpoints need a re-handshake to resync.
+  if (auto hit = sim::FaultAt(sim::fault_site::kNetSendCorrupt)) {
+    IRONSAFE_COUNTER_ADD("net.channel.injected_corruptions", 1);
+    frame[hit->param % frame.size()] ^= 0x01;
+  }
   IRONSAFE_COUNTER_ADD("net.channel.frames_sent", 1);
   IRONSAFE_COUNTER_ADD("net.channel.send_bytes", frame.size());
   if (cost != nullptr) cost->ChargeNetwork(frame.size());
@@ -59,11 +75,22 @@ Result<Bytes> SecureChannel::Send(const Bytes& plaintext,
 Result<Bytes> SecureChannel::Receive(const Bytes& frame,
                                      sim::CostModel* cost) {
   (void)cost;  // receive side piggybacks on the sender's network charge
+  // Injected replay: the adversary substitutes the previously accepted
+  // frame for the incoming one. Its AAD binds an older sequence number,
+  // so the AEAD open below must reject it.
+  const Bytes* incoming = &frame;
+  if (sim::FaultAt(sim::fault_site::kNetRecvReplay) &&
+      !last_accepted_frame_.empty()) {
+    IRONSAFE_COUNTER_ADD("net.channel.injected_replays", 1);
+    incoming = &last_accepted_frame_;
+  }
   Bytes aad;
   PutU64(&aad, recv_seq_);
   Append(&aad, session_id_);
-  auto plaintext = recv_aead_.Open(aad, frame);
+  auto plaintext = recv_aead_.Open(aad, *incoming);
   if (!plaintext.ok()) {
+    // Rejection is transactional: recv_seq_ is untouched, so the expected
+    // legitimate frame still authenticates after the bad one is discarded.
     IRONSAFE_COUNTER_ADD("net.channel.rejects", 1);
     return Status::Corruption(
         "secure channel record rejected (tamper, replay or reorder) at seq " +
@@ -71,7 +98,8 @@ Result<Bytes> SecureChannel::Receive(const Bytes& frame,
   }
   ++recv_seq_;
   IRONSAFE_COUNTER_ADD("net.channel.frames_received", 1);
-  IRONSAFE_COUNTER_ADD("net.channel.recv_bytes", frame.size());
+  IRONSAFE_COUNTER_ADD("net.channel.recv_bytes", incoming->size());
+  if (sim::FaultRegistry::Global().enabled()) last_accepted_frame_ = *incoming;
   return plaintext;
 }
 

@@ -41,6 +41,9 @@ class SecureChannel {
   Bytes session_id_;
   uint64_t send_seq_ = 0;
   uint64_t recv_seq_ = 0;
+  /// Only maintained while fault injection is enabled: the replay site
+  /// substitutes this for the incoming frame.
+  Bytes last_accepted_frame_;
 };
 
 /// X25519 ephemeral-ephemeral handshake with transcript-bound key

@@ -1,0 +1,43 @@
+#ifndef IRONSAFE_OBS_RETRY_H_
+#define IRONSAFE_OBS_RETRY_H_
+
+#include <string>
+#include <utility>
+
+#include "common/retry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/cost_model.h"
+
+namespace ironsafe::obs {
+
+/// The canonical wiring of common/retry.h into the deterministic-time and
+/// observability substrate. Each re-attempt of operation `op`:
+///
+///   - charges the simulated backoff to `cost` as fixed latency,
+///   - bumps `retry.<op>.attempts` (and `retry.attempts` overall),
+///   - emits a "retry" span covering the backoff, tagged with the attempt
+///     number and the failure that caused it,
+///
+/// so recovery is visible in Chrome traces and the counter registry. The
+/// first attempt stays hook-free: a fault-free run through the returned
+/// policy is bit-identical in cost and trace to the bare call.
+inline RetryPolicy ObservedRetryPolicy(std::string op, sim::CostModel* cost,
+                                       RetryPolicy base = {}) {
+  base.on_backoff = [op = std::move(op), cost](int next_attempt,
+                                               uint64_t backoff_ns,
+                                               const Status& failure) {
+    GetCounter("retry.attempts").Increment();
+    GetCounter("retry." + op + ".attempts").Increment();
+    SpanGuard span("retry", "retry", cost);
+    span.Tag("op", op);
+    span.Tag("attempt", static_cast<int64_t>(next_attempt));
+    span.Tag("cause", StatusCodeToString(failure.code()));
+    if (cost != nullptr) cost->ChargeFixed(backoff_ns);
+  };
+  return base;
+}
+
+}  // namespace ironsafe::obs
+
+#endif  // IRONSAFE_OBS_RETRY_H_

@@ -2,6 +2,9 @@
 
 #include "crypto/aes.h"
 #include "crypto/hmac.h"
+#include "obs/metrics.h"
+#include "obs/retry.h"
+#include "sim/fault.h"
 
 namespace ironsafe::securestore {
 
@@ -186,7 +189,33 @@ Status SecureStore::WritePage(uint64_t index, const Bytes& plaintext,
 }
 
 Result<Bytes> SecureStore::ReadPage(uint64_t index, sim::CostModel* cost) {
+  auto page = ReadPageOnce(index, cost);
+  if (page.ok() || !page.status().IsCorruption()) return page;
+  // Re-fetch-and-reverify: re-read the frame from the device and run the
+  // full MAC + Merkle + decrypt pipeline again. A transient flip between
+  // the platters and the verifier heals; a persistently tampered frame
+  // keeps failing verification and Corruption stands.
+  IRONSAFE_COUNTER_ADD("securestore.reverifies", 1);
+  RetryPolicy policy = obs::ObservedRetryPolicy("securestore.reverify", cost);
+  policy.retryable = [](const Status& s) { return s.IsCorruption(); };
+  Status recovered = ResumeRetryWithBackoff(
+      policy, page.status(), [&]() -> Status {
+        page = ReadPageOnce(index, cost);
+        return page.status();
+      });
+  if (!recovered.ok()) return recovered;
+  return page;
+}
+
+Result<Bytes> SecureStore::ReadPageOnce(uint64_t index, sim::CostModel* cost) {
   ASSIGN_OR_RETURN(Bytes frame, device_->ReadFrame(index, cost));
+  // Injected transient media/DMA damage between the device and the
+  // verifier: one byte in the frame's trailing MAC region flips (staying
+  // clear of the length prefix keeps the failure a verification failure,
+  // not a parse error), so the HMAC check below must reject the page.
+  if (auto hit = sim::FaultAt(sim::fault_site::kStoreReadBitflip)) {
+    if (frame.size() >= 64) frame[frame.size() - 1 - hit->param % 64] ^= 0x01;
+  }
 
   ByteReader r(frame);
   ASSIGN_OR_RETURN(Bytes iv, r.ReadBytes(16));

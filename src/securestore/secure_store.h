@@ -81,10 +81,14 @@ class SecureStore {
                    sim::CostModel* cost = nullptr);
 
   /// Reads and verifies a page: HMAC check, Merkle path to the trusted
-  /// root, then decrypt. Any tampering yields Corruption. Safe to call
-  /// concurrently with other reads — the verify/decrypt path only reads
-  /// store state, and each caller charges its own `cost` model (morsel
-  /// workers pass private slices). Concurrent writes are not supported.
+  /// root, then decrypt. Safe to call concurrently with other reads — the
+  /// verify/decrypt path only reads store state, and each caller charges
+  /// its own `cost` model (morsel workers pass private slices).
+  /// Concurrent writes are not supported.
+  ///
+  /// Recovery: a Corruption verdict (MAC or Merkle mismatch) triggers a
+  /// bounded re-fetch-and-reverify — a transient media/DMA flip heals on
+  /// retry, while persistent tampering still surfaces as Corruption.
   Result<Bytes> ReadPage(uint64_t index, sim::CostModel* cost = nullptr);
 
   /// Batch mode defers metadata persistence and the RPMB root commit to
@@ -103,6 +107,9 @@ class SecureStore {
  private:
   SecureStore(storage::BlockDevice* device, SecureStorageTa* ta,
               Bytes master_key, MerkleTree tree, uint64_t epoch);
+
+  /// One fetch + verify + decrypt pass (no recovery).
+  Result<Bytes> ReadPageOnce(uint64_t index, sim::CostModel* cost);
 
   Status Persist();
 

@@ -1,0 +1,91 @@
+#include "sim/fault.h"
+
+#include <algorithm>
+
+namespace ironsafe::sim {
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* registry = new FaultRegistry();
+  return *registry;
+}
+
+void FaultRegistry::ArmNth(std::string_view site, uint64_t nth, uint64_t count,
+                           uint64_t param) {
+  if (nth == 0 || count == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& state = sites_[std::string(site)];
+  Trigger t;
+  t.fire_at = state.occurrences + nth;
+  t.remaining = count;
+  t.param = param;
+  state.triggers.push_back(std::move(t));
+}
+
+void FaultRegistry::ArmProbability(std::string_view site, double p,
+                                   uint64_t seed) {
+  if (p <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& state = sites_[std::string(site)];
+  Trigger t;
+  t.probability = p;
+  t.rng = Random(seed);
+  state.triggers.push_back(std::move(t));
+}
+
+void FaultRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+}
+
+std::optional<FaultHit> FaultRegistry::Fire(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    // Count occurrences even for unarmed sites so a later ArmNth is
+    // relative to the arming point, not process start.
+    ++sites_[std::string(site)].occurrences;
+    return std::nullopt;
+  }
+  SiteState& state = it->second;
+  ++state.occurrences;
+  for (Trigger& t : state.triggers) {
+    if (t.fire_at != 0) {
+      if (t.remaining == 0 || state.occurrences < t.fire_at) continue;
+      --t.remaining;
+      ++state.fired;
+      return FaultHit{t.param + (state.occurrences - t.fire_at)};
+    }
+    // Probability mode: one PRNG draw per occurrence keeps the decision
+    // sequence a pure function of (seed, occurrence index).
+    uint64_t draw = t.rng.Next();
+    if (t.rng.Bernoulli(t.probability)) {
+      ++state.fired;
+      return FaultHit{draw};
+    }
+  }
+  return std::nullopt;
+}
+
+uint64_t FaultRegistry::occurrences(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.occurrences;
+}
+
+uint64_t FaultRegistry::fired(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fired;
+}
+
+std::vector<std::pair<std::string, uint64_t>> FaultRegistry::FiredSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  for (const auto& [name, state] : sites_) {
+    if (state.fired > 0) out.emplace_back(name, state.fired);
+  }
+  return out;
+}
+
+}  // namespace ironsafe::sim

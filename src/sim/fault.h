@@ -1,0 +1,168 @@
+#ifndef IRONSAFE_SIM_FAULT_H_
+#define IRONSAFE_SIM_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ironsafe::sim {
+
+/// Deterministic, process-wide fault injection.
+///
+/// Components thread named *injection sites* through their failure-prone
+/// paths (`FaultAt("net.send.drop")`, ...); tests arm *triggers* against
+/// those sites and the component simulates the fault — a dropped frame, a
+/// flipped bit, a stale RPMB counter — exactly where the real failure
+/// would bite. Two trigger kinds cover the reproducibility spectrum:
+///
+///   ArmNth(site, n [, count])   fire on the n-th occurrence of the site
+///                               after arming (then `count-1` more) —
+///                               bit-reproducible, for regression tests.
+///   ArmProbability(site, p, s)  fire with probability `p` from a PRNG
+///                               seeded with `s` — seed-sweepable chaos,
+///                               for the CI fault-seed matrix.
+///
+/// Determinism contract (docs/FAULT_INJECTION.md): with the registry
+/// disabled the instrumented code paths are byte-for-byte the code paths
+/// of a build without injection — no charges, no counters, no state.
+/// With triggers armed, the fire decisions depend only on (arming, seed,
+/// occurrence order); sites reached concurrently by morsel workers may
+/// see a schedule-dependent *interleaving*, but the number of fires and
+/// the recovery work are schedule-independent, so merged cost totals and
+/// query results stay bit-identical across worker counts.
+///
+/// The site catalog lives in docs/FAULT_INJECTION.md; the canonical site
+/// names are the `fault_site::` constants below.
+struct FaultHit {
+  /// Deterministic payload for the injected fault (which byte to flip,
+  /// how many extra EPC faults to charge, ...). Derived from the trigger:
+  /// ArmNth's explicit `param`, or the probability trigger's PRNG.
+  uint64_t param = 0;
+};
+
+class FaultRegistry {
+ public:
+  static FaultRegistry& Global();
+
+  /// Master switch. Off (the default) is the zero-overhead state: every
+  /// site check is a single relaxed atomic load.
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Fires on the `nth` occurrence of `site` counted from this call
+  /// (1-based), and on the following `count - 1` occurrences. `param`
+  /// seeds FaultHit::param (the i-th fire of the trigger gets param + i).
+  void ArmNth(std::string_view site, uint64_t nth, uint64_t count = 1,
+              uint64_t param = 0);
+
+  /// Fires each occurrence of `site` with probability `p`, decided by a
+  /// dedicated PRNG seeded with `seed` (also the source of the params).
+  void ArmProbability(std::string_view site, double p, uint64_t seed);
+
+  /// Clears every trigger and all occurrence/fire statistics. Does not
+  /// change the enabled flag.
+  void Reset();
+
+  /// The injection-site entry point: counts the occurrence and evaluates
+  /// the site's triggers. Only call when enabled() — use FaultAt().
+  std::optional<FaultHit> Fire(std::string_view site);
+
+  // ---- Statistics (for tests and reports) ----
+
+  /// Occurrences of `site` observed while enabled (fired or not).
+  uint64_t occurrences(std::string_view site) const;
+  /// How many of those occurrences fired a fault.
+  uint64_t fired(std::string_view site) const;
+  /// Name-sorted (site, fired) pairs for every site that ever fired.
+  std::vector<std::pair<std::string, uint64_t>> FiredSnapshot() const;
+
+ private:
+  struct Trigger {
+    uint64_t fire_at = 0;    ///< occurrence index of the first fire; 0 = probability mode
+    uint64_t remaining = 0;  ///< fires left (nth mode)
+    uint64_t param = 0;
+    double probability = 0;  ///< probability mode
+    Random rng{0};
+  };
+  struct SiteState {
+    uint64_t occurrences = 0;
+    uint64_t fired = 0;
+    std::vector<Trigger> triggers;
+  };
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::map<std::string, SiteState, std::less<>> sites_;
+};
+
+/// The one-liner components use at their injection sites. Disabled
+/// registry -> one relaxed load, no allocation, no lock.
+inline std::optional<FaultHit> FaultAt(std::string_view site) {
+  FaultRegistry& registry = FaultRegistry::Global();
+  if (!registry.enabled()) return std::nullopt;
+  return registry.Fire(site);
+}
+
+/// Test-scope guard: enables injection for the scope and leaves the
+/// registry disabled and empty on exit, so tests cannot leak triggers
+/// into each other.
+class ScopedFaultInjection {
+ public:
+  ScopedFaultInjection() {
+    FaultRegistry::Global().Reset();
+    FaultRegistry::Global().set_enabled(true);
+  }
+  ~ScopedFaultInjection() {
+    FaultRegistry::Global().Reset();
+    FaultRegistry::Global().set_enabled(false);
+  }
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+};
+
+/// Canonical injection-site names. One constant per site keeps arming
+/// code and injection points in sync; the behavioural contract of each
+/// site is catalogued in docs/FAULT_INJECTION.md.
+namespace fault_site {
+/// SecureChannel::Send — the sealed frame is lost before transmission
+/// commits; send state does not advance (retryable with a plain re-send).
+inline constexpr std::string_view kNetSendDrop = "net.send.drop";
+/// SecureChannel::Send — one frame byte flips in transit after the send
+/// committed; the receiver rejects and the channel needs a re-handshake.
+inline constexpr std::string_view kNetSendCorrupt = "net.send.corrupt";
+/// SecureChannel::Receive — the adversary substitutes the previously
+/// accepted frame for the incoming one (replay).
+inline constexpr std::string_view kNetRecvReplay = "net.recv.replay";
+/// RpmbClient write path — the client presents a stale write counter
+/// (device reboot / lost ack), which the device must reject as replay.
+inline constexpr std::string_view kRpmbCounterRollback =
+    "tee.rpmb.counter_rollback";
+/// RpmbClient write path — one byte of the write MAC flips in the frame.
+inline constexpr std::string_view kRpmbMacCorrupt = "tee.rpmb.mac_corrupt";
+/// SgxEnclave::EnterExit — the ecall aborts (AEX storm / EPC pressure).
+inline constexpr std::string_view kSgxEcallFail = "tee.sgx.ecall_fail";
+/// SgxEnclave::TouchMemory — a transient EPC-pressure spike charges
+/// extra page faults (param % 64 + 1 of them).
+inline constexpr std::string_view kSgxEpcSpike = "tee.sgx.epc_spike";
+/// SecureStore::ReadPage — one byte of the on-disk frame flips between
+/// the device and the verifier (transient media/DMA error).
+inline constexpr std::string_view kStoreReadBitflip =
+    "securestore.read.bitflip";
+/// CsaSystem::RunSplit — the storage node goes down before a fragment
+/// executes; the engine must degrade to host-side execution.
+inline constexpr std::string_view kEngineStorageDown = "engine.storage.down";
+}  // namespace fault_site
+
+}  // namespace ironsafe::sim
+
+#endif  // IRONSAFE_SIM_FAULT_H_

@@ -2,6 +2,8 @@
 
 #include "crypto/hmac.h"
 #include "obs/metrics.h"
+#include "obs/retry.h"
+#include "sim/fault.h"
 
 namespace ironsafe::tee {
 
@@ -52,10 +54,12 @@ Status RpmbDevice::AuthenticatedWrite(uint32_t slot, const Bytes& data,
     return Status::InvalidArgument("RPMB data exceeds slot size");
   }
   if (counter != write_counter_) {
+    IRONSAFE_COUNTER_ADD("tee.rpmb.auth_failures", 1);
     return Status::Unauthenticated("RPMB write counter mismatch (replay?)");
   }
   Bytes expected = MakeWriteMac(key_, slot, counter, data);
   if (!ConstantTimeEqual(expected, mac)) {
+    IRONSAFE_COUNTER_ADD("tee.rpmb.auth_failures", 1);
     return Status::Unauthenticated("RPMB write MAC invalid");
   }
   slots_[slot] = data;
@@ -84,10 +88,32 @@ Status RpmbClient::Provision() {
   return device_->ProgramKey(key_);
 }
 
-Status RpmbClient::Write(uint32_t slot, const Bytes& data) {
+Status RpmbClient::WriteOnce(uint32_t slot, const Bytes& data) {
   uint32_t counter = device_->write_counter();
+  // Injected counter rollback: the client presents a stale counter (as a
+  // host would after a reboot with a lost write ack) and the device must
+  // reject the frame as a replay.
+  if (sim::FaultAt(sim::fault_site::kRpmbCounterRollback)) {
+    counter = counter > 0 ? counter - 1 : counter + 1;
+  }
   Bytes mac = RpmbDevice::MakeWriteMac(key_, slot, counter, data);
+  // Injected MAC damage: one byte of the authentication tag flips in the
+  // frame on its way to the device.
+  if (auto hit = sim::FaultAt(sim::fault_site::kRpmbMacCorrupt)) {
+    mac[hit->param % mac.size()] ^= 0x01;
+  }
   return device_->AuthenticatedWrite(slot, data, counter, mac);
+}
+
+Status RpmbClient::Write(uint32_t slot, const Bytes& data) {
+  // Recovery: WriteOnce re-reads the device counter and re-MACs the frame
+  // on every attempt, so a retry heals stale-counter and damaged-MAC
+  // failures; a device that keeps rejecting (wrong key) still fails after
+  // the bounded attempts. The first attempt is hook-free.
+  RetryPolicy policy = obs::ObservedRetryPolicy("tee.rpmb.write", nullptr);
+  policy.retryable = [](const Status& s) { return s.IsUnauthenticated(); };
+  return RetryWithBackoff(
+      policy, [&]() -> Status { return WriteOnce(slot, data); });
 }
 
 Result<Bytes> RpmbClient::Read(uint32_t slot, const Bytes& nonce) {

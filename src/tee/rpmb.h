@@ -73,6 +73,10 @@ class RpmbClient {
   /// Programs the key if the device is fresh. Idempotent per device.
   Status Provision();
 
+  /// Authenticated write with recovery: a write the device rejects as
+  /// Unauthenticated (stale counter after a lost ack, damaged MAC) is
+  /// re-prepared against the device's current counter and retried with
+  /// bounded backoff.
   Status Write(uint32_t slot, const Bytes& data);
 
   /// Reads and authenticates; fails with Unauthenticated if the device
@@ -80,6 +84,9 @@ class RpmbClient {
   Result<Bytes> Read(uint32_t slot, const Bytes& nonce);
 
  private:
+  /// One write frame: recomputes the counter and MAC, then submits.
+  Status WriteOnce(uint32_t slot, const Bytes& data);
+
   RpmbDevice* device_;
   Bytes key_;
 };

@@ -4,6 +4,7 @@
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
 #include "obs/metrics.h"
+#include "sim/fault.h"
 
 namespace ironsafe::tee {
 
@@ -53,9 +54,16 @@ std::unique_ptr<SgxEnclave> SgxMachine::LoadEnclave(
       new SgxEnclave(this, image_name, std::move(measurement)));
 }
 
-void SgxEnclave::EnterExit(sim::CostModel* cost) {
+Status SgxEnclave::EnterExit(sim::CostModel* cost) {
   IRONSAFE_COUNTER_ADD("tee.sgx.transitions", 1);
   if (cost != nullptr) cost->ChargeEnclaveTransition();
+  // Injected asynchronous enclave exit: the transition cost is already
+  // paid, but the ecall did not complete and the caller must re-enter.
+  if (sim::FaultAt(sim::fault_site::kSgxEcallFail)) {
+    IRONSAFE_COUNTER_ADD("tee.sgx.ecall_failures", 1);
+    return Status::Unavailable("injected: ecall aborted (AEX)");
+  }
+  return Status::OK();
 }
 
 uint64_t SgxEnclave::TouchMemory(uint64_t region_id, uint64_t bytes,
@@ -65,6 +73,15 @@ uint64_t SgxEnclave::TouchMemory(uint64_t region_id, uint64_t bytes,
                                  : (96ull << 20) / kPageSize;
   uint64_t pages = (bytes + kPageSize - 1) / kPageSize;
   uint64_t faults = 0;
+  // Injected EPC-pressure spike: other enclaves on the platform evicted
+  // some of our pages, so this touch pays extra page-in faults.
+  if (auto hit = sim::FaultAt(sim::fault_site::kSgxEpcSpike)) {
+    uint64_t extra = 1 + hit->param % 64;
+    for (uint64_t i = 0; i < extra; ++i) {
+      if (cost != nullptr) cost->ChargeEpcFault();
+    }
+    faults += extra;
+  }
   for (uint64_t p = 0; p < pages; ++p) {
     auto key = std::make_pair(region_id, p);
     if (resident_.count(key)) continue;

@@ -37,8 +37,10 @@ class SgxEnclave {
   const Bytes& measurement() const { return measurement_; }
   const std::string& image_name() const { return image_name_; }
 
-  /// Marks an ecall/ocall round trip and charges its cost.
-  void EnterExit(sim::CostModel* cost);
+  /// Marks an ecall/ocall round trip and charges its cost. Fails only
+  /// under injected ecall aborts (AEX storm / EPC pressure) — the charge
+  /// is still paid, since the CPU did enter and fall back out.
+  Status EnterExit(sim::CostModel* cost);
 
   /// Simulates the enclave touching `bytes` of heap at logical offset
   /// `region_id` (a coarse page-group key). Pages beyond EPC capacity

@@ -1,0 +1,29 @@
+// Fixture: every fallible call's result is consumed — propagated,
+// assigned, returned, or explicitly cast away. None of these may fire
+// unchecked-status.
+
+struct FakeChannel {
+  int Send(int x);
+  int Receive(int x);
+};
+
+struct FakeClient {
+  int Provision();
+  int Write(int slot, int data);
+  void WriteFrame(int slot, int data);  // void-returning: never flagged
+};
+
+#define RETURN_IF_ERROR(expr) \
+  do {                        \
+    if ((expr) != 0) return;  \
+  } while (0)
+
+void Clean(FakeChannel* ch, FakeClient client) {
+  RETURN_IF_ERROR(ch->Send(1));
+  int status = ch->Receive(2);
+  if (client.Provision() != 0) return;
+  (void)client.Write(0, status);
+  client.WriteFrame(0, 3);
+}
+
+int Forwarding(FakeChannel* ch) { return ch->Send(4); }

@@ -1,0 +1,19 @@
+// Fixture: discarded Status/Result at statement position in a
+// fault-injectable module. Each marked line must fire unchecked-status.
+
+struct FakeChannel {
+  int Send(int x);
+  int Receive(int x);
+};
+
+struct FakeClient {
+  int Provision();
+  int Write(int slot, int data);
+};
+
+void Broken(FakeChannel* ch, FakeClient client) {
+  ch->Send(1);           // fires: Result discarded
+  ch->Receive(2);        // fires
+  client.Provision();    // fires
+  client.Write(0, 3);    // fires
+}

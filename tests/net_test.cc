@@ -62,6 +62,26 @@ TEST_F(SecureChannelTest, ReplayDetected) {
   EXPECT_TRUE(b_->Receive(*frame, nullptr).status().IsCorruption());
 }
 
+TEST_F(SecureChannelTest, TamperedThenLegitFrameStillAuthenticates) {
+  // Regression: a rejected frame must not consume the receive sequence
+  // number. An adversary injecting garbage in front of a legitimate
+  // frame would otherwise permanently desync the channel.
+  auto frame = a_->Send(ToBytes("data"), nullptr);
+  ASSERT_TRUE(frame.ok());
+  Bytes tampered = *frame;
+  tampered[tampered.size() / 2] ^= 1;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(b_->Receive(tampered, nullptr).status().IsCorruption());
+  }
+  auto got = b_->Receive(*frame, nullptr);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, ToBytes("data"));
+  // And the channel keeps working afterwards.
+  auto next = a_->Send(ToBytes("more"), nullptr);
+  ASSERT_TRUE(next.ok());
+  EXPECT_TRUE(b_->Receive(*next, nullptr).ok());
+}
+
 TEST_F(SecureChannelTest, ReorderDetected) {
   auto f1 = a_->Send(ToBytes("first"), nullptr);
   auto f2 = a_->Send(ToBytes("second"), nullptr);

@@ -9,9 +9,11 @@
 #include "crypto/aes.h"
 #include "crypto/ed25519.h"
 #include "crypto/hmac.h"
+#include "net/secure_channel.h"
 #include "net/wire.h"
 #include "securestore/merkle_tree.h"
 #include "securestore/secure_store.h"
+#include "tee/rpmb.h"
 #include "sql/eval.h"
 #include "sql/parser.h"
 #include "sql/value.h"
@@ -91,6 +93,71 @@ TEST_P(CryptoProperty, HmacIsDeterministicAndKeySeparated) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CryptoProperty,
                          ::testing::Values(1, 2, 3, 5, 8, 13));
+
+// ---------------- trust-boundary adversary properties ----------------
+
+TEST_P(CryptoProperty, ChannelRejectsEverySingleByteFlip) {
+  Random rng(GetParam());
+  auto pair = net::Handshake::FromSessionKey(RandomBytes(&rng, 32));
+  ASSERT_TRUE(pair.ok());
+  auto& sender = pair->first;
+  auto& receiver = pair->second;
+  for (int trial = 0; trial < 40; ++trial) {
+    Bytes plaintext = RandomBytes(&rng, 1 + rng.Uniform(300));
+    auto frame = sender->Send(plaintext, nullptr);
+    ASSERT_TRUE(frame.ok());
+    Bytes mutated = *frame;
+    size_t pos = rng.Uniform(mutated.size());
+    mutated[pos] ^= static_cast<uint8_t>(1 + rng.Uniform(255));
+    EXPECT_TRUE(receiver->Receive(mutated, nullptr).status().IsCorruption())
+        << "trial " << trial << " flip at " << pos;
+    // Rejection is transactional: the untampered frame still lands.
+    auto got = receiver->Receive(*frame, nullptr);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(*got, plaintext);
+  }
+}
+
+TEST_P(CryptoProperty, RpmbRejectsEveryStaleCounterReplay) {
+  Random rng(GetParam());
+  tee::RpmbDevice device;
+  Bytes key = RandomBytes(&rng, 32);
+  ASSERT_TRUE(device.ProgramKey(key).ok());
+  for (int trial = 0; trial < 30; ++trial) {
+    auto slot = static_cast<uint32_t>(rng.Uniform(tee::RpmbDevice::kNumSlots));
+    Bytes data = RandomBytes(&rng, 1 + rng.Uniform(64));
+    uint32_t counter = device.write_counter();
+    Bytes mac = tee::RpmbDevice::MakeWriteMac(key, slot, counter, data);
+    ASSERT_TRUE(device.AuthenticatedWrite(slot, data, counter, mac).ok());
+    // Replaying the identical, correctly-MACed frame must always fail:
+    // the counter it binds is now stale.
+    EXPECT_TRUE(device.AuthenticatedWrite(slot, data, counter, mac)
+                    .IsUnauthenticated())
+        << "trial " << trial;
+    EXPECT_EQ(device.write_counter(), counter + 1)
+        << "a rejected replay must not advance the counter";
+  }
+}
+
+TEST_P(CryptoProperty, MerkleDetectsAnySingleLeafMutation) {
+  Random rng(GetParam());
+  const uint64_t n = 2 + rng.Uniform(60);
+  securestore::MerkleTree tree(RandomBytes(&rng, 32), n);
+  std::vector<Bytes> leaves(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    leaves[i] = RandomBytes(&rng, 32);
+    tree.UpdateLeaf(i, leaves[i]);
+  }
+  for (int trial = 0; trial < 60; ++trial) {
+    uint64_t idx = rng.Uniform(n);
+    Bytes mutated = leaves[idx];
+    size_t byte = rng.Uniform(mutated.size());
+    mutated[byte] ^= static_cast<uint8_t>(1u << rng.Uniform(8));
+    EXPECT_TRUE(tree.VerifyLeaf(idx, mutated).IsCorruption())
+        << "leaf " << idx << " byte " << byte;
+    EXPECT_TRUE(tree.VerifyLeaf(idx, leaves[idx]).ok());
+  }
+}
 
 // ---------------- merkle / secure store properties ----------------
 

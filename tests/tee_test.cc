@@ -196,8 +196,8 @@ TEST_F(SgxTest, RetouchingResidentPagesIsFree) {
 TEST_F(SgxTest, TransitionsAreCharged) {
   auto enclave = machine_.LoadEnclave("e", ToBytes("img"));
   sim::CostModel cm;
-  enclave->EnterExit(&cm);
-  enclave->EnterExit(&cm);
+  ASSERT_TRUE(enclave->EnterExit(&cm).ok());
+  ASSERT_TRUE(enclave->EnterExit(&cm).ok());
   EXPECT_EQ(cm.enclave_transitions(), 2u);
   EXPECT_GT(cm.enclave_transition_ns(), 0u);
 }

@@ -19,6 +19,9 @@
 ///                       timing-shim allowlist; no iteration over
 ///                       unordered containers in files whose output order
 ///                       is observable (exporters, trace, wire).
+///   unchecked-status  — fault-injectable modules (src/net, src/tee,
+///                       src/securestore) must not discard the Status /
+///                       Result of a fallible call at statement position.
 ///   hygiene           — headers carry include guards; no
 ///                       `using namespace std;` in headers.
 ///
@@ -27,7 +30,8 @@
 namespace ironsafe::lint {
 
 struct Diagnostic {
-  std::string rule;  ///< "layering", "enclave-boundary", "determinism", "hygiene"
+  std::string rule;  ///< "layering", "enclave-boundary", "determinism",
+                     ///< "unchecked-status", "hygiene"
   std::string file;  ///< path relative to the tree root
   int line = 0;      ///< 1-based
   std::string message;
