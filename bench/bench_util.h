@@ -41,12 +41,14 @@ inline double ArgScaleFactor(int argc, char** argv) {
 ///   --trace-detail        include per-worker detail spans (makes the
 ///                         file dependent on the worker count)
 ///   --workers=N           cap the morsel thread pool at N workers
+///   --clients=N           concurrent client sessions (serving benches)
 struct BenchArgs {
   double scale_factor = kDefaultScaleFactor;
   std::string trace_json;  // empty = tracing off
   bool trace_wall = false;
   bool trace_detail = false;
   int workers = 0;  // 0 = hardware default
+  int clients = 8;
 };
 
 inline BenchArgs ParseArgs(int argc, char** argv) {
@@ -62,6 +64,9 @@ inline BenchArgs ParseArgs(int argc, char** argv) {
       args.trace_detail = true;
     } else if (std::strncmp(arg, "--workers=", 10) == 0) {
       args.workers = std::atoi(arg + 10);
+    } else if (std::strncmp(arg, "--clients=", 10) == 0) {
+      args.clients = std::atoi(arg + 10);
+      if (args.clients < 1) args.clients = 1;
     } else if (!saw_sf) {
       double sf = std::atof(arg);
       if (sf > 0) {

@@ -46,6 +46,9 @@ for seed in $(seq 1 10); do
            --output-on-failure -j "$JOBS"; exit 1; }
 done
 
+echo "==> serving-layer leg (ctest -L server)"
+ctest --test-dir build -L server --output-on-failure -j "$JOBS"
+
 echo "==> ironsafe_lint (also gated by ctest -R lint_tree)"
 ./build/tools/ironsafe_lint/ironsafe_lint --root . \
   --json build/lint_report.json

@@ -98,6 +98,9 @@ class Status {
     return code_ == StatusCode::kInvalidArgument;
   }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

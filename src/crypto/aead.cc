@@ -1,5 +1,7 @@
 #include "crypto/aead.h"
 
+#include <algorithm>
+
 #include "crypto/aes.h"
 #include "crypto/hmac.h"
 
@@ -54,6 +56,11 @@ Result<Bytes> Aead::Open(const Bytes& aad, const Bytes& sealed) const {
     return Status::Corruption("AEAD tag mismatch");
   }
   return AesCtr(enc_key_, nonce, ciphertext);
+}
+
+void Aead::Zeroize() {
+  std::fill(enc_key_.begin(), enc_key_.end(), uint8_t{0});
+  std::fill(mac_key_.begin(), mac_key_.end(), uint8_t{0});
 }
 
 }  // namespace ironsafe::crypto

@@ -29,6 +29,11 @@ class Aead {
   /// Verifies and decrypts; fails with Corruption on any tampering.
   Result<Bytes> Open(const Bytes& aad, const Bytes& sealed) const;
 
+  /// Overwrites both keys with zeros. Seal/Open afterwards would operate
+  /// under the all-zero key, so callers must gate them out (see
+  /// net::SecureChannel::Close).
+  void Zeroize();
+
  private:
   Aead(Bytes enc_key, Bytes mac_key)
       : enc_key_(std::move(enc_key)), mac_key_(std::move(mac_key)) {}

@@ -93,26 +93,47 @@ Result<IronSafeSystem::ExecutionResult> IronSafeSystem::Execute(
     const std::string& client_key, const std::string& sql,
     const std::string& execution_policy, std::optional<int64_t> insert_expiry,
     std::optional<int64_t> insert_reuse) {
-  if (!bootstrapped_) {
-    return Status::FailedPrecondition("call Bootstrap() first");
-  }
-  ExecutionResult exec;
-
   // The whole-statement span has no model of its own: its duration is
   // derived from the control-path, data-path and proof children, each
   // charged to its own CostModel.
   obs::SpanGuard exec_span("execute", "engine", nullptr);
+  ASSIGN_OR_RETURN(Authorized authorized,
+                   Authorize(client_key, sql, execution_policy, insert_expiry,
+                             insert_reuse));
+  return ExecuteAuthorized(authorized.auth, authorized.auth.session_key,
+                           execution_policy, sql, authorized.monitor_ns);
+}
 
+Result<IronSafeSystem::Authorized> IronSafeSystem::Authorize(
+    const std::string& client_key, const std::string& sql,
+    const std::string& execution_policy, std::optional<int64_t> insert_expiry,
+    std::optional<int64_t> insert_reuse) {
+  if (!bootstrapped_) {
+    return Status::FailedPrecondition("call Bootstrap() first");
+  }
   // Control path: monitor authorization + rewriting (Figure 2 step 2).
+  Authorized authorized;
   sim::CostModel monitor_cost;
   obs::SpanGuard auth_span("authorize", "engine", &monitor_cost);
-  ASSIGN_OR_RETURN(monitor::Authorization auth,
+  ASSIGN_OR_RETURN(authorized.auth,
                    monitor_->AuthorizeStatement(client_key, sql,
                                                 execution_policy,
                                                 insert_expiry, insert_reuse,
                                                 &monitor_cost));
   auth_span.Close();
-  exec.monitor_ns = monitor_cost.elapsed_ns();
+  authorized.monitor_ns = monitor_cost.elapsed_ns();
+  return authorized;
+}
+
+Result<IronSafeSystem::ExecutionResult> IronSafeSystem::ExecuteAuthorized(
+    const monitor::Authorization& auth, const Bytes& session_key,
+    const std::string& execution_policy, const std::string& original_sql,
+    sim::SimNanos monitor_ns) {
+  if (!bootstrapped_) {
+    return Status::FailedPrecondition("call Bootstrap() first");
+  }
+  ExecutionResult exec;
+  exec.monitor_ns = monitor_ns;
 
   // Data path (Figure 2 steps 3-4).
   if (auth.rewritten.kind == sql::Statement::Kind::kSelect) {
@@ -142,7 +163,7 @@ Result<IronSafeSystem::ExecutionResult> IronSafeSystem::Execute(
     exec.execution_ns = dml_cost.elapsed_ns();
     exec.offloaded = true;
     // Reconstruct a printable form for the proof.
-    exec.rewritten_sql = sql;
+    exec.rewritten_sql = original_sql;
   }
 
   // Step 5: proof of compliance + session cleanup.
@@ -151,7 +172,7 @@ Result<IronSafeSystem::ExecutionResult> IronSafeSystem::Execute(
   ASSIGN_OR_RETURN(exec.proof, monitor_->IssueProof(exec.rewritten_sql,
                                                     execution_policy,
                                                     exec.offloaded));
-  monitor_->EndSession(auth.session_key);
+  monitor_->EndSession(session_key);
   proof_span.Close();
   return exec;
 }

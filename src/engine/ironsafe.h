@@ -61,6 +61,32 @@ class IronSafeSystem {
       std::optional<int64_t> insert_expiry = std::nullopt,
       std::optional<int64_t> insert_reuse = std::nullopt);
 
+  /// Control path only (Figure 2 step 2): the monitor's authorization +
+  /// policy rewrite, with its cost in `monitor_ns`. The two halves below
+  /// are what Execute() composes; serving layers split them so a plan
+  /// cache can skip this half on a hit (src/server).
+  struct Authorized {
+    monitor::Authorization auth;
+    sim::SimNanos monitor_ns = 0;
+  };
+  Result<Authorized> Authorize(
+      const std::string& client_key, const std::string& sql,
+      const std::string& execution_policy = "",
+      std::optional<int64_t> insert_expiry = std::nullopt,
+      std::optional<int64_t> insert_reuse = std::nullopt);
+
+  /// Data path + proof (Figure 2 steps 3-5) for an authorization from
+  /// Authorize() or replayed from a plan cache. Re-entrant with respect
+  /// to the authorization: `auth` is only read, so the same rewritten
+  /// statement can execute any number of times. `session_key` is the key
+  /// for *this* execution (auth.session_key for the fresh path, a
+  /// monitor::BeginCachedSession key for cached hits) and is ended on
+  /// completion; `original_sql` reconstructs the proof text for DML.
+  Result<ExecutionResult> ExecuteAuthorized(
+      const monitor::Authorization& auth, const Bytes& session_key,
+      const std::string& execution_policy, const std::string& original_sql,
+      sim::SimNanos monitor_ns);
+
   monitor::TrustedMonitor* monitor() { return monitor_.get(); }
   CsaSystem* csa() { return csa_.get(); }
 

@@ -102,9 +102,24 @@ class TrustedMonitor {
 
   Status RegisterTablePolicy(const std::string& table, TablePolicy policy);
   void RegisterClient(const std::string& key_id, int reuse_bit = -1);
+  bool ClientRegistered(const std::string& key_id) const {
+    return clients_.count(key_id) > 0;
+  }
 
   /// Current simulation date used by the le(T, TIMESTAMP) predicate.
-  void set_access_time(int64_t days) { access_time_ = days; }
+  void set_access_time(int64_t days) {
+    if (days != access_time_) {
+      access_time_ = days;
+      ++policy_epoch_;
+    }
+  }
+
+  /// Monotone counter bumped whenever policy-relevant state changes:
+  /// table policy (re-)registration, client registry updates, the access
+  /// time, and attestation facts. Anything caching the *output* of
+  /// AuthorizeStatement (rewritten statements, eligibility) must key on
+  /// this epoch — a bump invalidates every older cached rewrite.
+  uint64_t policy_epoch() const { return policy_epoch_; }
 
   // ---- Query authorization (§4.2 policy-compliant partitioning) ----
 
@@ -119,6 +134,17 @@ class TrustedMonitor {
       const std::string& execution_policy,
       std::optional<int64_t> insert_expiry = std::nullopt,
       std::optional<int64_t> insert_reuse = std::nullopt,
+      sim::CostModel* cost = nullptr);
+
+  /// Per-execution half of a *cached* authorization (plan-cache hit):
+  /// re-checks the client, re-performs the logging obligations recorded
+  /// by the original AuthorizeStatement, and issues a fresh session key.
+  /// Costs one enclave transition but no parse / policy-eval / rewrite —
+  /// callers must have keyed their cache on policy_epoch() so the reused
+  /// rewrite is still the one AuthorizeStatement would produce.
+  Result<Bytes> BeginCachedSession(
+      const std::string& client_key_id, const std::string& sql,
+      const std::vector<policy::Obligation>& obligations,
       sim::CostModel* cost = nullptr);
 
   /// Ends a session: revokes its key (§4.2 session cleanup).
@@ -155,6 +181,7 @@ class TrustedMonitor {
   std::map<std::string, int> clients_;  // key id -> reuse bit
   std::set<Bytes> active_sessions_;
   int64_t access_time_ = 0;
+  uint64_t policy_epoch_ = 0;
 };
 
 }  // namespace ironsafe::monitor

@@ -1,5 +1,7 @@
 #include "net/secure_channel.h"
 
+#include <algorithm>
+
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
 #include "obs/metrics.h"
@@ -43,6 +45,9 @@ Result<std::unique_ptr<SecureChannel>> BuildChannel(const KeySchedule& ks,
 
 Result<Bytes> SecureChannel::Send(const Bytes& plaintext,
                                   sim::CostModel* cost) {
+  if (closed_) {
+    return Status::FailedPrecondition("secure channel is closed");
+  }
   // Injected link loss before the send commits: the sequence number does
   // not advance, so a plain re-send of the same plaintext recovers.
   if (sim::FaultAt(sim::fault_site::kNetSendDrop)) {
@@ -75,6 +80,9 @@ Result<Bytes> SecureChannel::Send(const Bytes& plaintext,
 Result<Bytes> SecureChannel::Receive(const Bytes& frame,
                                      sim::CostModel* cost) {
   (void)cost;  // receive side piggybacks on the sender's network charge
+  if (closed_) {
+    return Status::FailedPrecondition("secure channel is closed");
+  }
   // Injected replay: the adversary substitutes the previously accepted
   // frame for the incoming one. Its AAD binds an older sequence number,
   // so the AEAD open below must reject it.
@@ -101,6 +109,18 @@ Result<Bytes> SecureChannel::Receive(const Bytes& frame,
   IRONSAFE_COUNTER_ADD("net.channel.recv_bytes", incoming->size());
   if (sim::FaultRegistry::Global().enabled()) last_accepted_frame_ = *incoming;
   return plaintext;
+}
+
+void SecureChannel::Close() {
+  if (closed_) return;
+  closed_ = true;
+  send_aead_.Zeroize();
+  recv_aead_.Zeroize();
+  std::fill(session_id_.begin(), session_id_.end(), uint8_t{0});
+  std::fill(last_accepted_frame_.begin(), last_accepted_frame_.end(),
+            uint8_t{0});
+  last_accepted_frame_.clear();
+  IRONSAFE_COUNTER_ADD("net.channel.closed", 1);
 }
 
 Result<Handshake::Hello> Handshake::Start() {

@@ -25,6 +25,13 @@ class SecureChannel {
   /// Authenticates and decrypts a frame produced by the peer's Send().
   Result<Bytes> Receive(const Bytes& frame, sim::CostModel* cost);
 
+  /// Ends this endpoint's session: zeroizes both AEAD keys, the session
+  /// id and the replay buffer. Subsequent Send/Receive fail cleanly with
+  /// kFailedPrecondition (no frame is ever produced or accepted under
+  /// the dead keys). Idempotent.
+  void Close();
+  bool closed() const { return closed_; }
+
   const Bytes& session_id() const { return session_id_; }
 
   /// Prefer Handshake to construct channels; exposed for key schedules
@@ -41,6 +48,7 @@ class SecureChannel {
   Bytes session_id_;
   uint64_t send_seq_ = 0;
   uint64_t recv_seq_ = 0;
+  bool closed_ = false;
   /// Only maintained while fault injection is enabled: the replay site
   /// substitutes this for the incoming frame.
   Bytes last_accepted_frame_;

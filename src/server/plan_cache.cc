@@ -1,0 +1,69 @@
+#include "server/plan_cache.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace ironsafe::server {
+
+std::string PlanCache::Key(const std::string& client_key,
+                           const std::string& execution_policy,
+                           const std::string& sql) {
+  // Length-prefixed concatenation so no (client, policy, sql) tuple can
+  // collide with another by sliding bytes across field boundaries.
+  Bytes key;
+  PutLengthPrefixed(&key, client_key);
+  PutLengthPrefixed(&key, execution_policy);
+  PutLengthPrefixed(&key, sql);
+  return ToString(key);
+}
+
+void PlanCache::RollEpoch(uint64_t epoch) {
+  if (epoch == epoch_) return;
+  if (!entries_.empty()) {
+    invalidations_ += entries_.size();
+    IRONSAFE_COUNTER_ADD("server.plan_cache.invalidated", entries_.size());
+    entries_.clear();
+    insertion_order_.clear();
+  }
+  epoch_ = epoch;
+}
+
+const CachedPlan* PlanCache::Lookup(const std::string& client_key,
+                                    const std::string& execution_policy,
+                                    const std::string& sql, uint64_t epoch) {
+  RollEpoch(epoch);
+  auto it = entries_.find(Key(client_key, execution_policy, sql));
+  if (it == entries_.end()) {
+    ++misses_;
+    IRONSAFE_COUNTER_ADD("server.plan_cache.miss", 1);
+    return nullptr;
+  }
+  ++hits_;
+  IRONSAFE_COUNTER_ADD("server.plan_cache.hit", 1);
+  return &it->second;
+}
+
+const CachedPlan* PlanCache::Insert(const std::string& client_key,
+                                    const std::string& execution_policy,
+                                    const std::string& sql, uint64_t epoch,
+                                    CachedPlan plan) {
+  RollEpoch(epoch);
+  if (capacity_ == 0) return nullptr;
+  std::string key = Key(client_key, execution_policy, sql);
+  auto [it, inserted] = entries_.insert_or_assign(key, std::move(plan));
+  if (inserted) {
+    insertion_order_.push_back(key);
+    while (entries_.size() > capacity_) {
+      entries_.erase(insertion_order_.front());
+      insertion_order_.pop_front();
+      IRONSAFE_COUNTER_ADD("server.plan_cache.evicted", 1);
+    }
+  }
+  // The evictee above can never be `key` itself: a fresh insert beyond
+  // capacity evicts the front of the order queue, and `key` is at the
+  // back. A pointer into the node-based map stays valid either way.
+  return &it->second;
+}
+
+}  // namespace ironsafe::server

@@ -1,0 +1,76 @@
+#ifndef IRONSAFE_SERVER_PLAN_CACHE_H_
+#define IRONSAFE_SERVER_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "engine/ironsafe.h"
+#include "monitor/monitor.h"
+
+namespace ironsafe::server {
+
+/// A reusable authorization: the monitor's rewritten statement plus the
+/// control-path cost of producing it. On a hit the service skips the
+/// parse / policy-eval / rewrite entirely and only pays the monitor's
+/// per-execution half (monitor::TrustedMonitor::BeginCachedSession).
+struct CachedPlan {
+  monitor::Authorization auth;
+  sim::SimNanos authorize_ns = 0;  ///< original full-authorization cost
+};
+
+/// Prepared-statement cache keyed on (client, execution policy, SQL)
+/// within one monitor policy-rewrite epoch. The epoch is the soundness
+/// anchor: TrustedMonitor::policy_epoch() bumps whenever any input to
+/// the rewrite changes (table policies, client registry, access time,
+/// attestation facts), and the first lookup under a newer epoch drops
+/// every cached rewrite from older epochs.
+///
+/// Only SELECT authorizations are cached (QueryService enforces this):
+/// DML rewrites embed per-statement hidden-column values.
+///
+/// Not thread-safe; QueryService serializes access via its dispatch lock.
+class PlanCache {
+ public:
+  explicit PlanCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached plan or null. The pointer stays valid until the
+  /// next Insert or epoch change. A call with a newer `epoch` than the
+  /// cache has seen invalidates everything first.
+  const CachedPlan* Lookup(const std::string& client_key,
+                           const std::string& execution_policy,
+                           const std::string& sql, uint64_t epoch);
+
+  /// Stores a plan under the same key tuple; evicts the oldest entry
+  /// beyond `capacity` (insertion order). Inserting under a newer epoch
+  /// invalidates older entries first, like Lookup.
+  const CachedPlan* Insert(const std::string& client_key,
+                           const std::string& execution_policy,
+                           const std::string& sql, uint64_t epoch,
+                           CachedPlan plan);
+
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t invalidations() const { return invalidations_; }
+
+ private:
+  static std::string Key(const std::string& client_key,
+                         const std::string& execution_policy,
+                         const std::string& sql);
+  void RollEpoch(uint64_t epoch);
+
+  size_t capacity_;
+  uint64_t epoch_ = 0;
+  std::map<std::string, CachedPlan> entries_;
+  std::deque<std::string> insertion_order_;  // front = oldest
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t invalidations_ = 0;
+};
+
+}  // namespace ironsafe::server
+
+#endif  // IRONSAFE_SERVER_PLAN_CACHE_H_

@@ -1,0 +1,419 @@
+#include "server/query_service.h"
+
+#include <string>
+#include <utility>
+
+#include "net/wire.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/fault.h"
+
+namespace ironsafe::server {
+
+namespace {
+
+Bytes SeedBytes(uint64_t seed) {
+  Bytes b = ToBytes("ironsafe query service handshake drbg");
+  PutU64(&b, seed);
+  return b;
+}
+
+}  // namespace
+
+Bytes EncodeStatementRequest(const StatementRequest& request) {
+  Bytes out;
+  out.push_back(request.insert_expiry.has_value() ? 1 : 0);
+  PutU64(&out, static_cast<uint64_t>(request.insert_expiry.value_or(0)));
+  out.push_back(request.insert_reuse.has_value() ? 1 : 0);
+  PutU64(&out, static_cast<uint64_t>(request.insert_reuse.value_or(0)));
+  PutLengthPrefixed(&out, request.sql);
+  PutLengthPrefixed(&out, request.execution_policy);
+  return out;
+}
+
+Result<StatementRequest> DecodeStatementRequest(const Bytes& plain) {
+  ByteReader reader(plain);
+  StatementRequest request;
+  ASSIGN_OR_RETURN(Bytes has_expiry, reader.ReadBytes(1));
+  ASSIGN_OR_RETURN(uint64_t expiry, reader.ReadU64());
+  if (has_expiry[0] != 0) request.insert_expiry = static_cast<int64_t>(expiry);
+  ASSIGN_OR_RETURN(Bytes has_reuse, reader.ReadBytes(1));
+  ASSIGN_OR_RETURN(uint64_t reuse, reader.ReadU64());
+  if (has_reuse[0] != 0) request.insert_reuse = static_cast<int64_t>(reuse);
+  ASSIGN_OR_RETURN(request.sql, reader.ReadLengthPrefixedString());
+  ASSIGN_OR_RETURN(request.execution_policy,
+                   reader.ReadLengthPrefixedString());
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after statement request");
+  }
+  return request;
+}
+
+Bytes EncodeStatementResponse(const StatementResponse& response) {
+  Bytes out;
+  out.push_back(response.status.ok() ? 1 : 0);
+  if (!response.status.ok()) {
+    PutU32(&out, static_cast<uint32_t>(response.status.code()));
+    PutLengthPrefixed(&out, response.status.message());
+    return out;
+  }
+  PutLengthPrefixed(&out, net::SerializeResult(response.result));
+  PutU64(&out, response.monitor_ns);
+  PutU64(&out, response.execution_ns);
+  out.push_back(response.offloaded ? 1 : 0);
+  out.push_back(response.plan_cache_hit ? 1 : 0);
+  return out;
+}
+
+Result<StatementResponse> DecodeStatementResponse(const Bytes& plain) {
+  ByteReader reader(plain);
+  StatementResponse response;
+  ASSIGN_OR_RETURN(Bytes ok, reader.ReadBytes(1));
+  if (ok[0] == 0) {
+    ASSIGN_OR_RETURN(uint32_t code, reader.ReadU32());
+    ASSIGN_OR_RETURN(std::string message, reader.ReadLengthPrefixedString());
+    response.status = Status(static_cast<StatusCode>(code), std::move(message));
+    return response;
+  }
+  ASSIGN_OR_RETURN(Bytes wire, reader.ReadLengthPrefixed());
+  ASSIGN_OR_RETURN(response.result, net::DeserializeResult(wire));
+  ASSIGN_OR_RETURN(response.monitor_ns, reader.ReadU64());
+  ASSIGN_OR_RETURN(response.execution_ns, reader.ReadU64());
+  ASSIGN_OR_RETURN(Bytes offloaded, reader.ReadBytes(1));
+  response.offloaded = offloaded[0] != 0;
+  ASSIGN_OR_RETURN(Bytes hit, reader.ReadBytes(1));
+  response.plan_cache_hit = hit[0] != 0;
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after statement response");
+  }
+  return response;
+}
+
+QueryService::QueryService(engine::IronSafeSystem* system,
+                           ServiceOptions options)
+    : system_(system),
+      options_(options),
+      handshake_drbg_(SeedBytes(options.handshake_seed)),
+      scheduler_(options.limits),
+      plan_cache_(options.plan_cache_capacity) {}
+
+Result<QueryService::ClientSession> QueryService::OpenSession(
+    const std::string& client_key_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (draining_) {
+    return Status::Unavailable("service is draining; no new sessions");
+  }
+  // Session identity maps onto the monitor's client registry: a key the
+  // data producer never registered cannot even open a channel.
+  if (!system_->monitor()->ClientRegistered(client_key_id)) {
+    return Status::Unauthenticated("unknown client key: " + client_key_id);
+  }
+  net::Handshake client_side(&handshake_drbg_);
+  net::Handshake service_side(&handshake_drbg_);
+  ASSIGN_OR_RETURN(net::Handshake::Hello client_hello, client_side.Start());
+  ASSIGN_OR_RETURN(net::Handshake::Hello service_hello, service_side.Start());
+  ASSIGN_OR_RETURN(std::unique_ptr<net::SecureChannel> client_channel,
+                   client_side.Finish(service_hello, /*is_initiator=*/true));
+  ASSIGN_OR_RETURN(std::unique_ptr<net::SecureChannel> service_channel,
+                   service_side.Finish(client_hello, /*is_initiator=*/false));
+
+  uint64_t id = next_session_id_++;
+  Session session;
+  session.client_key = client_key_id;
+  session.channel = std::move(service_channel);
+  session.lane = next_lane_++;
+  sessions_.emplace(id, std::move(session));
+  ++stats_.sessions_opened;
+  IRONSAFE_COUNTER_ADD("server.sessions.opened", 1);
+  obs::GetGauge("server.sessions.active")
+      .Set(static_cast<int64_t>(stats_.sessions_opened -
+                                stats_.sessions_closed));
+  return ClientSession{id, std::move(client_channel)};
+}
+
+Status QueryService::CloseSession(uint64_t session_id) {
+  // dispatch_mu_ first: a close never interleaves with an in-flight
+  // statement, so every executed statement gets a sealed response and
+  // every aborted one provably never ran.
+  std::lock_guard<std::mutex> dispatch_lock(dispatch_mu_);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end() || it->second.closed) {
+    return Status::NotFound("unknown session: " + std::to_string(session_id));
+  }
+  it->second.closed = true;
+  it->second.channel->Close();
+  for (QueuedStatement& item : scheduler_.EvictSession(session_id)) {
+    it->second.completions.push_back(Completion{
+        item.seq, Status::Unavailable("session closed before dispatch"), {}});
+    ++stats_.statements_aborted;
+    IRONSAFE_COUNTER_ADD("server.statements.aborted", 1);
+  }
+  ++stats_.sessions_closed;
+  IRONSAFE_COUNTER_ADD("server.sessions.closed", 1);
+  obs::GetGauge("server.sessions.active")
+      .Set(static_cast<int64_t>(stats_.sessions_opened -
+                                stats_.sessions_closed));
+  return Status::OK();
+}
+
+Result<uint64_t> QueryService::Submit(uint64_t session_id,
+                                      const Bytes& request_frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (draining_) {
+    return Status::Unavailable("service is draining; statement refused");
+  }
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end() || it->second.closed) {
+    return Status::NotFound("unknown session: " + std::to_string(session_id));
+  }
+  QueuedStatement item;
+  item.session_id = session_id;
+  item.seq = it->second.next_seq;
+  item.request_frame = request_frame;
+  Status admitted = scheduler_.Admit(std::move(item));
+  if (!admitted.ok()) {
+    ++stats_.statements_rejected;
+    IRONSAFE_COUNTER_ADD("server.admission.rejected", 1);
+    return admitted;
+  }
+  uint64_t seq = it->second.next_seq++;
+  ++stats_.statements_admitted;
+  stats_.peak_queue_depth = scheduler_.peak_depth();
+  IRONSAFE_COUNTER_ADD("server.admission.accepted", 1);
+  obs::GetGauge("server.queue.peak_depth")
+      .Set(static_cast<int64_t>(scheduler_.peak_depth()));
+  return seq;
+}
+
+size_t QueryService::RunUntilIdle() {
+  std::lock_guard<std::mutex> dispatch_lock(dispatch_mu_);
+  size_t completed = 0;
+  for (;;) {
+    std::optional<QueuedStatement> item;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      item = scheduler_.Next();
+    }
+    if (!item.has_value()) break;
+    DispatchStatement(*item);
+    ++completed;
+  }
+  return completed;
+}
+
+void QueryService::DispatchStatement(const QueuedStatement& item) {
+  StatementRequest request;
+  std::string client_key;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(item.session_id);
+    if (it == sessions_.end() || it->second.closed) {
+      // Session vanished between admission and dispatch.
+      if (it != sessions_.end()) {
+        it->second.completions.push_back(Completion{
+            item.seq, Status::Unavailable("session closed before dispatch"),
+            {}});
+      }
+      ++stats_.statements_aborted;
+      IRONSAFE_COUNTER_ADD("server.statements.aborted", 1);
+      return;
+    }
+    Session& session = it->second;
+    // Injected session drop at dispatch: the tenant disappears while its
+    // statement is queued. The victim statement and everything else the
+    // session had queued complete with kUnavailable (nothing executed),
+    // the channel keys are zeroized, and the client recovers by opening
+    // a fresh session and resubmitting.
+    if (sim::FaultAt(sim::fault_site::kServerSessionDrop)) {
+      IRONSAFE_COUNTER_ADD("server.sessions.injected_drops", 1);
+      session.closed = true;
+      session.channel->Close();
+      session.completions.push_back(Completion{
+          item.seq, Status::Unavailable("injected: session dropped"), {}});
+      ++stats_.statements_aborted;
+      for (QueuedStatement& evicted : scheduler_.EvictSession(item.session_id)) {
+        session.completions.push_back(Completion{
+            evicted.seq, Status::Unavailable("injected: session dropped"),
+            {}});
+        ++stats_.statements_aborted;
+      }
+      IRONSAFE_COUNTER_ADD("server.statements.aborted", 1);
+      ++stats_.sessions_closed;
+      IRONSAFE_COUNTER_ADD("server.sessions.closed", 1);
+      return;
+    }
+    auto plain = session.channel->Receive(item.request_frame, nullptr);
+    if (!plain.ok()) {
+      session.completions.push_back(
+          Completion{item.seq, plain.status(), {}});
+      ++stats_.statements_aborted;
+      IRONSAFE_COUNTER_ADD("server.statements.aborted", 1);
+      return;
+    }
+    auto decoded = DecodeStatementRequest(*plain);
+    if (!decoded.ok()) {
+      session.completions.push_back(
+          Completion{item.seq, decoded.status(), {}});
+      ++stats_.statements_aborted;
+      IRONSAFE_COUNTER_ADD("server.statements.aborted", 1);
+      return;
+    }
+    request = std::move(*decoded);
+    client_key = session.client_key;
+  }
+
+  // Heavy work runs without mu_: concurrent Submit calls stay admitted
+  // while the engine executes (dispatch_mu_ already serializes us).
+  StatementResponse response = ExecuteRequest(client_key, request);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(item.session_id);
+  if (it == sessions_.end()) return;  // cannot happen; sessions are retained
+  Session& session = it->second;
+  sim::CostModel send_cost;
+  auto frame = session.channel->Send(EncodeStatementResponse(response),
+                                     &send_cost);
+  if (!frame.ok()) {
+    session.completions.push_back(Completion{item.seq, frame.status(), {}});
+    ++stats_.statements_aborted;
+    IRONSAFE_COUNTER_ADD("server.statements.aborted", 1);
+    return;
+  }
+  serve_cost_.MergeChild(send_cost);
+  session.completions.push_back(
+      Completion{item.seq, Status::OK(), std::move(*frame)});
+  ++stats_.statements_executed;
+  if (response.plan_cache_hit) {
+    ++stats_.plan_cache_hits;
+  } else {
+    ++stats_.plan_cache_misses;
+  }
+  stats_.total_monitor_ns += response.monitor_ns;
+  stats_.total_execution_ns += response.execution_ns;
+  stats_.total_serve_ns = serve_cost_.elapsed_ns();
+  IRONSAFE_COUNTER_ADD("server.statements.executed", 1);
+  // Per-session trace lane: one detail span per statement, excluded from
+  // the default (deterministic) export like every other detail span.
+  obs::Tracer* tracer = obs::CurrentTracer();
+  if (tracer != nullptr) {
+    int64_t now_us = tracer->WallNowUs();
+    tracer->AddDetailSpan("session-" + std::to_string(item.session_id),
+                          "server",
+                          response.total_ns() + send_cost.elapsed_ns(),
+                          session.lane, now_us, now_us);
+  }
+}
+
+StatementResponse QueryService::ExecuteRequest(const std::string& client_key,
+                                               const StatementRequest& request) {
+  StatementResponse response;
+  // Null model: the serve-statement span derives its duration from the
+  // authorize/query/proof children, exactly like engine "execute".
+  obs::SpanGuard serve_span("serve-statement", "server", nullptr);
+
+  uint64_t epoch = system_->monitor()->policy_epoch();
+  const CachedPlan* plan = plan_cache_.Lookup(
+      client_key, request.execution_policy, request.sql, epoch);
+  engine::IronSafeSystem::Authorized fresh;
+  Bytes session_key;
+  sim::SimNanos monitor_ns = 0;
+
+  if (plan != nullptr) {
+    response.plan_cache_hit = true;
+    // Per-execution monitor half only: obligations replay into the audit
+    // log and a fresh session key — no parse, no policy eval, no rewrite.
+    sim::CostModel cached_cost;
+    obs::SpanGuard span("authorize-cached", "server", &cached_cost);
+    auto key = system_->monitor()->BeginCachedSession(
+        client_key, request.sql, plan->auth.obligations, &cached_cost);
+    span.Close();
+    if (!key.ok()) {
+      response.status = key.status();
+      return response;
+    }
+    session_key = std::move(*key);
+    monitor_ns = cached_cost.elapsed_ns();
+  } else {
+    auto authorized = system_->Authorize(client_key, request.sql,
+                                         request.execution_policy,
+                                         request.insert_expiry,
+                                         request.insert_reuse);
+    if (!authorized.ok()) {
+      response.status = authorized.status();
+      return response;
+    }
+    fresh = std::move(*authorized);
+    session_key = fresh.auth.session_key;
+    monitor_ns = fresh.monitor_ns;
+    if (fresh.auth.rewritten.kind == sql::Statement::Kind::kSelect &&
+        plan_cache_.capacity() > 0) {
+      plan = plan_cache_.Insert(client_key, request.execution_policy,
+                                request.sql, epoch,
+                                CachedPlan{std::move(fresh.auth),
+                                           fresh.monitor_ns});
+    }
+  }
+
+  const monitor::Authorization& auth =
+      plan != nullptr ? plan->auth : fresh.auth;
+  auto result = system_->ExecuteAuthorized(auth, session_key,
+                                           request.execution_policy,
+                                           request.sql, monitor_ns);
+  if (!result.ok()) {
+    response.status = result.status();
+    return response;
+  }
+  response.result = std::move(result->result);
+  response.monitor_ns = result->monitor_ns;
+  response.execution_ns = result->execution_ns;
+  response.offloaded = result->offloaded;
+  return response;
+}
+
+std::vector<Completion> QueryService::TakeCompletions(uint64_t session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Completion> out;
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return out;
+  out.assign(std::make_move_iterator(it->second.completions.begin()),
+             std::make_move_iterator(it->second.completions.end()));
+  it->second.completions.clear();
+  return out;
+}
+
+size_t QueryService::Drain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+  }
+  size_t flushed = RunUntilIdle();
+  IRONSAFE_COUNTER_ADD("server.drain.flushed", flushed);
+  return flushed;
+}
+
+void QueryService::Shutdown() {
+  Drain();
+  std::lock_guard<std::mutex> dispatch_lock(dispatch_mu_);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, session] : sessions_) {
+    if (session.closed) continue;
+    session.closed = true;
+    session.channel->Close();
+    ++stats_.sessions_closed;
+    IRONSAFE_COUNTER_ADD("server.sessions.closed", 1);
+  }
+  obs::GetGauge("server.sessions.active").Set(0);
+}
+
+bool QueryService::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+QueryService::Stats QueryService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace ironsafe::server

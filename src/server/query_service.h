@@ -1,0 +1,188 @@
+#ifndef IRONSAFE_SERVER_QUERY_SERVICE_H_
+#define IRONSAFE_SERVER_QUERY_SERVICE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/chacha20.h"
+#include "engine/ironsafe.h"
+#include "net/secure_channel.h"
+#include "server/plan_cache.h"
+#include "server/scheduler.h"
+#include "sim/cost_model.h"
+
+namespace ironsafe::server {
+
+/// One statement as a client submits it (sealed on its session channel).
+struct StatementRequest {
+  std::string sql;
+  std::string execution_policy;
+  std::optional<int64_t> insert_expiry;
+  std::optional<int64_t> insert_reuse;
+};
+
+Bytes EncodeStatementRequest(const StatementRequest& request);
+Result<StatementRequest> DecodeStatementRequest(const Bytes& plain);
+
+/// What the service seals back for one executed statement. `status` is
+/// the engine/monitor outcome (a policy rejection travels here, inside
+/// the channel); the remaining fields are meaningful only when it is OK.
+struct StatementResponse {
+  Status status = Status::OK();
+  sql::QueryResult result;
+  sim::SimNanos monitor_ns = 0;
+  sim::SimNanos execution_ns = 0;
+  bool offloaded = false;
+  bool plan_cache_hit = false;
+
+  sim::SimNanos total_ns() const { return monitor_ns + execution_ns; }
+};
+
+Bytes EncodeStatementResponse(const StatementResponse& response);
+Result<StatementResponse> DecodeStatementResponse(const Bytes& plain);
+
+/// Terminal record for one submitted statement. `transport` is OK when
+/// `response_frame` holds a sealed StatementResponse; it is kUnavailable
+/// when the session dropped or closed before the statement ran (the
+/// statement did NOT execute — safe to resubmit on a new session).
+struct Completion {
+  uint64_t seq = 0;
+  Status transport = Status::OK();
+  Bytes response_frame;
+};
+
+struct ServiceOptions {
+  SchedulerLimits limits;
+  size_t plan_cache_capacity = 128;
+  /// Seeds the DRBG behind every per-session handshake, so a fixed
+  /// session-open order yields identical channel keys (and thus
+  /// byte-identical frames) run over run.
+  uint64_t handshake_seed = 0x5e55104e;
+};
+
+/// Multi-tenant serving front end over one IronSafeSystem (the "many
+/// clients" deployment of paper Figure 2): per-session attested secure
+/// channels, bounded fair admission, a policy-epoch-keyed plan cache,
+/// and graceful drain.
+///
+/// Threading model: Submit / TakeCompletions / CloseSession are
+/// thread-safe and may be called from concurrent client threads.
+/// RunUntilIdle dispatches queued statements ONE AT A TIME in the fair
+/// scheduler's order (morsel parallelism happens inside the engine via
+/// common::ThreadPool), which is what keeps aggregate cost totals and
+/// the default trace bit-identical across worker counts: the simulated
+/// account depends on the submission schedule, never on thread timing.
+class QueryService {
+ public:
+  QueryService(engine::IronSafeSystem* system, ServiceOptions options);
+
+  /// The client's half of an open session: the service keeps the mirror
+  /// channel, so frames sealed on `channel` authenticate at the service
+  /// and vice versa.
+  struct ClientSession {
+    uint64_t id = 0;
+    std::unique_ptr<net::SecureChannel> channel;
+  };
+
+  /// Authenticates `client_key_id` against the monitor's client registry
+  /// (RegisterClient keys) and runs a fresh net::Handshake for the
+  /// session. kUnauthenticated for unknown clients; kUnavailable while
+  /// draining.
+  Result<ClientSession> OpenSession(const std::string& client_key_id);
+
+  /// Closes a session: zeroizes the service-side channel keys and
+  /// completes any still-queued statements with kUnavailable.
+  Status CloseSession(uint64_t session_id);
+
+  /// Admits one sealed request frame; returns the statement's seq.
+  /// kResourceExhausted (retryable backpressure, see common/retry) when
+  /// the session quota or global queue bound is hit; kUnavailable while
+  /// draining; kNotFound for unknown/closed sessions.
+  Result<uint64_t> Submit(uint64_t session_id, const Bytes& request_frame);
+
+  /// Dispatches queued statements in fair order until the queue is
+  /// empty; returns how many executed. Safe to call from any thread
+  /// (concurrent callers serialize); determinism holds whenever the
+  /// submission schedule itself is deterministic.
+  size_t RunUntilIdle();
+
+  /// Pops every finished completion for the session, submission order.
+  std::vector<Completion> TakeCompletions(uint64_t session_id);
+
+  /// Stops admission (new Submit/OpenSession fail kUnavailable), then
+  /// executes everything already admitted. Every admitted statement ends
+  /// in exactly one completion: nothing is lost, nothing runs twice.
+  /// Returns how many queued statements the drain flushed.
+  size_t Drain();
+
+  /// Drain + close every session (keys zeroized).
+  void Shutdown();
+
+  bool draining() const;
+
+  struct Stats {
+    uint64_t sessions_opened = 0;
+    uint64_t sessions_closed = 0;
+    uint64_t statements_admitted = 0;
+    uint64_t statements_rejected = 0;  ///< admission backpressure
+    uint64_t statements_executed = 0;
+    uint64_t statements_aborted = 0;   ///< completed kUnavailable
+    uint64_t plan_cache_hits = 0;
+    uint64_t plan_cache_misses = 0;
+    size_t peak_queue_depth = 0;
+    sim::SimNanos total_monitor_ns = 0;
+    sim::SimNanos total_execution_ns = 0;
+    sim::SimNanos total_serve_ns = 0;  ///< response sealing/shipping
+  };
+  Stats stats() const;
+
+ private:
+  struct Session {
+    std::string client_key;
+    std::unique_ptr<net::SecureChannel> channel;  // service end
+    int lane = 0;          ///< detail-span display lane
+    uint64_t next_seq = 0;
+    bool closed = false;
+    std::deque<Completion> completions;
+  };
+
+  /// Runs one statement end to end (already popped from the scheduler).
+  /// Called with dispatch_mu_ held, mu_ released.
+  void DispatchStatement(const QueuedStatement& item);
+
+  /// Executes the decoded request against the engine, going through the
+  /// plan cache for SELECTs.
+  StatementResponse ExecuteRequest(const std::string& client_key,
+                                   const StatementRequest& request);
+
+  engine::IronSafeSystem* system_;
+  ServiceOptions options_;
+  crypto::Drbg handshake_drbg_;
+
+  /// Guards sessions_, scheduler_, draining_, counters and serve_cost_.
+  mutable std::mutex mu_;
+  /// Serializes statement dispatch; always acquired before mu_.
+  std::mutex dispatch_mu_;
+
+  std::map<uint64_t, Session> sessions_;
+  FairScheduler scheduler_;
+  PlanCache plan_cache_;
+  uint64_t next_session_id_ = 1;
+  int next_lane_ = 0;
+  bool draining_ = false;
+
+  sim::CostModel serve_cost_;
+  Stats stats_;
+};
+
+}  // namespace ironsafe::server
+
+#endif  // IRONSAFE_SERVER_QUERY_SERVICE_H_

@@ -1,0 +1,68 @@
+#include "server/scheduler.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "sim/fault.h"
+
+namespace ironsafe::server {
+
+Status FairScheduler::Admit(QueuedStatement item) {
+  // Injected admission overflow: the queue behaves as if full, so the
+  // client exercises its backpressure-retry path.
+  if (sim::FaultAt(sim::fault_site::kServerAdmissionOverflow)) {
+    IRONSAFE_COUNTER_ADD("server.admission.injected_overflows", 1);
+    return Status::ResourceExhausted("injected: admission queue full");
+  }
+  if (depth_ >= limits_.max_total) {
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(limits_.max_total) +
+        " statements)");
+  }
+  std::deque<QueuedStatement>& q = queues_[item.session_id];
+  if (q.size() >= limits_.max_per_session) {
+    if (q.empty()) queues_.erase(item.session_id);
+    return Status::ResourceExhausted(
+        "session quota full (" + std::to_string(limits_.max_per_session) +
+        " statements for session " + std::to_string(item.session_id) + ")");
+  }
+  q.push_back(std::move(item));
+  ++depth_;
+  peak_depth_ = std::max(peak_depth_, depth_);
+  return Status::OK();
+}
+
+std::optional<QueuedStatement> FairScheduler::Next() {
+  if (depth_ == 0) return std::nullopt;
+  // First non-empty session strictly after the last served, wrapping.
+  // Empty per-session queues are erased eagerly, so every map entry is
+  // servable and the two lookups below suffice.
+  auto it = queues_.upper_bound(last_served_);
+  if (it == queues_.end()) it = queues_.begin();
+  QueuedStatement item = std::move(it->second.front());
+  it->second.pop_front();
+  last_served_ = it->first;
+  if (it->second.empty()) queues_.erase(it);
+  --depth_;
+  return item;
+}
+
+std::vector<QueuedStatement> FairScheduler::EvictSession(uint64_t session_id) {
+  std::vector<QueuedStatement> evicted;
+  auto it = queues_.find(session_id);
+  if (it == queues_.end()) return evicted;
+  evicted.assign(std::make_move_iterator(it->second.begin()),
+                 std::make_move_iterator(it->second.end()));
+  depth_ -= evicted.size();
+  queues_.erase(it);
+  return evicted;
+}
+
+size_t FairScheduler::session_depth(uint64_t session_id) const {
+  auto it = queues_.find(session_id);
+  return it == queues_.end() ? 0 : it->second.size();
+}
+
+}  // namespace ironsafe::server

@@ -1,0 +1,73 @@
+#ifndef IRONSAFE_SERVER_SCHEDULER_H_
+#define IRONSAFE_SERVER_SCHEDULER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace ironsafe::server {
+
+/// One client statement waiting for dispatch: the sealed request frame as
+/// it arrived on the session channel (it is only opened at dispatch time,
+/// so a queued statement never exists in plaintext outside the channel
+/// endpoints).
+struct QueuedStatement {
+  uint64_t session_id = 0;
+  uint64_t seq = 0;  ///< per-session submission number
+  Bytes request_frame;
+};
+
+/// Admission bounds. Both caps reject with kResourceExhausted, which
+/// common/retry classifies as backpressure (retryable without switching
+/// paths) — distinct from kUnavailable, which signals a lost node.
+struct SchedulerLimits {
+  size_t max_per_session = 8;  ///< per-tenant quota
+  size_t max_total = 64;       ///< bound on total queued statements
+};
+
+/// Deterministic fair scheduler: one FIFO per session, served round-robin
+/// by ascending session id. Given the same sequence of Admit/Next calls
+/// the dispatch order is a pure function of the submission schedule —
+/// never of thread timing — which is what keeps serving-layer traces and
+/// cost totals bit-identical across worker counts.
+///
+/// Not thread-safe; QueryService guards it with its session mutex.
+class FairScheduler {
+ public:
+  explicit FairScheduler(SchedulerLimits limits) : limits_(limits) {}
+
+  /// Enqueues, or rejects with kResourceExhausted when the statement
+  /// would exceed the per-session quota or the global bound.
+  Status Admit(QueuedStatement item);
+
+  /// Pops the next statement in round-robin order (the first non-empty
+  /// session with id greater than the last one served, wrapping), or
+  /// nullopt when idle.
+  std::optional<QueuedStatement> Next();
+
+  /// Removes every queued statement of `session_id` (session close or
+  /// drop); the caller completes them with kUnavailable.
+  std::vector<QueuedStatement> EvictSession(uint64_t session_id);
+
+  size_t depth() const { return depth_; }
+  size_t session_depth(uint64_t session_id) const;
+  /// High-water mark of depth(); never exceeds limits().max_total.
+  size_t peak_depth() const { return peak_depth_; }
+  const SchedulerLimits& limits() const { return limits_; }
+
+ private:
+  SchedulerLimits limits_;
+  std::map<uint64_t, std::deque<QueuedStatement>> queues_;
+  uint64_t last_served_ = 0;  ///< session id; 0 = nothing served yet
+  size_t depth_ = 0;
+  size_t peak_depth_ = 0;
+};
+
+}  // namespace ironsafe::server
+
+#endif  // IRONSAFE_SERVER_SCHEDULER_H_

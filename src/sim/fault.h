@@ -161,6 +161,14 @@ inline constexpr std::string_view kStoreReadBitflip =
 /// CsaSystem::RunSplit — the storage node goes down before a fragment
 /// executes; the engine must degrade to host-side execution.
 inline constexpr std::string_view kEngineStorageDown = "engine.storage.down";
+/// QueryService dispatch — the client's session drops while its statement
+/// waits in the scheduler; queued work completes with kUnavailable and
+/// the session is closed (keys zeroized).
+inline constexpr std::string_view kServerSessionDrop = "server.session.drop";
+/// QueryService::Submit — the admission controller rejects as if the
+/// bounded queue were full; clients see retryable kResourceExhausted.
+inline constexpr std::string_view kServerAdmissionOverflow =
+    "server.admission.overflow";
 }  // namespace fault_site
 
 }  // namespace ironsafe::sim

@@ -8,6 +8,7 @@
 #include "common/bytes.h"
 #include "common/random.h"
 #include "common/result.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 
@@ -41,6 +42,53 @@ TEST(StatusTest, ReturnIfErrorPropagates) {
     return Status::OK();
   };
   EXPECT_TRUE(outer().IsNotFound());
+}
+
+TEST(RetryClassificationTest, DistinguishesBackpressureFromNodeDown) {
+  // Both transient kinds are retryable, but they are distinct
+  // conditions: backpressure (an admission queue or quota rejection)
+  // resolves by waiting on the same path, node-down may need another.
+  Status backpressure = Status::ResourceExhausted("admission queue full");
+  Status node_down = Status::Unavailable("storage node lost");
+  EXPECT_EQ(ClassifyTransient(backpressure), TransientKind::kBackpressure);
+  EXPECT_EQ(ClassifyTransient(node_down), TransientKind::kNodeDown);
+  EXPECT_TRUE(IsRetryableTransient(backpressure));
+  EXPECT_TRUE(IsRetryableTransient(node_down));
+  EXPECT_TRUE(IsBackpressure(backpressure));
+  EXPECT_FALSE(IsBackpressure(node_down));
+  EXPECT_TRUE(backpressure.IsResourceExhausted());
+}
+
+TEST(RetryClassificationTest, PermanentFailuresAreNotTransient) {
+  for (Status s : {Status::PermissionDenied("policy"), Status::NotFound("t"),
+                   Status::Corruption("mac"), Status::Unauthenticated("key"),
+                   Status::OK()}) {
+    EXPECT_EQ(ClassifyTransient(s), TransientKind::kNone) << s.ToString();
+    EXPECT_FALSE(IsRetryableTransient(s));
+    EXPECT_FALSE(IsBackpressure(s));
+  }
+}
+
+TEST(RetryClassificationTest, DrivesRetryPolicyAsClassifier) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.retryable = IsRetryableTransient;
+  int calls = 0;
+  Status st = RetryWithBackoff(policy, [&]() -> Status {
+    ++calls;
+    return calls < 3 ? Status::ResourceExhausted("queue full") : Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 3);
+
+  // Non-transient failures pass through without a second attempt.
+  calls = 0;
+  st = RetryWithBackoff(policy, [&]() -> Status {
+    ++calls;
+    return Status::PermissionDenied("no");
+  });
+  EXPECT_TRUE(st.IsPermissionDenied());
+  EXPECT_EQ(calls, 1);
 }
 
 TEST(ResultTest, HoldsValue) {

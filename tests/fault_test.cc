@@ -13,13 +13,17 @@
 #include <string>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/thread_pool.h"
 #include "engine/csa_system.h"
+#include "engine/ironsafe.h"
 #include "net/secure_channel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "securestore/secure_store.h"
+#include "server/query_service.h"
 #include "sim/fault.h"
+#include "sql/value.h"
 #include "storage/block_device.h"
 #include "tee/rpmb.h"
 #include "tee/sgx.h"
@@ -640,6 +644,215 @@ TEST_F(CsaFaultTest, RandomFaultSweepAlwaysRecovers) {
            }
            return s;
          }();
+}
+
+// ---------------- serving-layer fault sites ----------------
+
+// Session faults live in the serving layer's dispatch/admission path:
+// a dropped tenant mid-queue and an injected admission overflow. The
+// detection bar is the serving contract itself (aborted statements are
+// provably unexecuted, overflow is retryable backpressure) and recovery
+// is the documented client loop: reopen + resubmit, or retry-after-pump.
+class ServerFaultTest : public ::testing::Test {
+ protected:
+  static constexpr int kConsumers = 2;
+
+  void SetUp() override {
+    engine::IronSafeSystem::Options options;
+    options.csa.scale_factor = 0.001;
+    auto system = engine::IronSafeSystem::Create(options);
+    ASSERT_TRUE(system.ok());
+    system_ = std::move(*system);
+    ASSERT_TRUE(system_->Bootstrap().ok());
+    system_->set_current_date(*sql::ParseDate("1997-06-01"));
+    system_->RegisterClient("producer");
+    std::string policy = "read ::= sessionKeyIs(producer)";
+    for (int c = 0; c < kConsumers; ++c) {
+      std::string key = "c" + std::to_string(c);
+      system_->RegisterClient(key);
+      policy += " | sessionKeyIs(" + key + ")";
+    }
+    policy += "\nwrite ::= sessionKeyIs(producer)\n";
+    ASSERT_TRUE(system_
+                    ->CreateProtectedTable(
+                        "producer",
+                        "CREATE TABLE accounts "
+                        "(id INTEGER, owner VARCHAR, balance DOUBLE)",
+                        policy, /*with_expiry=*/false, /*with_reuse=*/false)
+                    .ok());
+    std::string insert = "INSERT INTO accounts (id, owner, balance) VALUES ";
+    for (int i = 0; i < 30; ++i) {
+      if (i) insert += ", ";
+      insert += "(" + std::to_string(i) + ", 'user" + std::to_string(i) +
+                "', " + std::to_string(100.0 + i) + ")";
+    }
+    ASSERT_TRUE(system_->Execute("producer", insert).ok());
+    service_ = std::make_unique<server::QueryService>(
+        system_.get(), server::ServiceOptions{});
+  }
+
+  struct End {
+    uint64_t id = 0;
+    std::unique_ptr<net::SecureChannel> channel;
+  };
+
+  End Open(const std::string& key) {
+    auto session = service_->OpenSession(key);
+    EXPECT_TRUE(session.ok()) << session.status().ToString();
+    if (!session.ok()) return {};
+    return End{session->id, std::move(session->channel)};
+  }
+
+  static Bytes SealRequest(End& end, const std::string& sql) {
+    server::StatementRequest request;
+    request.sql = sql;
+    auto frame =
+        end.channel->Send(server::EncodeStatementRequest(request), nullptr);
+    EXPECT_TRUE(frame.ok()) << frame.status().ToString();
+    return frame.ok() ? *frame : Bytes{};
+  }
+
+  /// Closed-loop statement with the full recovery protocol: pump and
+  /// resubmit on backpressure, reopen the session and re-seal on a drop.
+  /// Returns the single owner string the SELECT produced.
+  std::string RunWithRecovery(End& end, int id) {
+    const std::string sql =
+        "SELECT owner FROM accounts WHERE id = " + std::to_string(id);
+    for (int attempt = 0; attempt < 50; ++attempt) {
+      Bytes frame = SealRequest(end, sql);
+      bool submitted = false;
+      for (int push = 0; push < 50 && !submitted; ++push) {
+        auto seq = service_->Submit(end.id, frame);
+        if (seq.ok()) {
+          submitted = true;
+        } else if (IsBackpressure(seq.status())) {
+          service_->RunUntilIdle();
+        } else {
+          break;  // session gone: reopen below
+        }
+      }
+      if (!submitted) {
+        end = Open("c0");
+        continue;
+      }
+      service_->RunUntilIdle();
+      auto done = service_->TakeCompletions(end.id);
+      if (done.size() == 1 && done[0].transport.ok()) {
+        auto plain = end.channel->Receive(done[0].response_frame, nullptr);
+        EXPECT_TRUE(plain.ok()) << plain.status().ToString();
+        if (!plain.ok()) return {};
+        auto response = server::DecodeStatementResponse(*plain);
+        EXPECT_TRUE(response.ok()) << response.status().ToString();
+        if (!response.ok() || !response->status.ok()) return {};
+        EXPECT_EQ(response->result.rows.size(), 1u);
+        return response->result.rows.empty()
+                   ? std::string{}
+                   : response->result.rows[0][0].AsString();
+      }
+      // Dropped before dispatch: the statement provably never ran, so a
+      // fresh session and a re-sealed frame are safe.
+      end = Open("c0");
+    }
+    ADD_FAILURE() << "statement never recovered: " << sql;
+    return {};
+  }
+
+  std::unique_ptr<engine::IronSafeSystem> system_;
+  std::unique_ptr<server::QueryService> service_;
+};
+
+TEST_F(ServerFaultTest, SessionDropAbortsQueuedStatementsUnexecuted) {
+  End c0 = Open("c0");
+  Bytes f1 = SealRequest(c0, "SELECT owner FROM accounts WHERE id = 1");
+  Bytes f2 = SealRequest(c0, "SELECT owner FROM accounts WHERE id = 2");
+  ASSERT_TRUE(service_->Submit(c0.id, f1).ok());
+  ASSERT_TRUE(service_->Submit(c0.id, f2).ok());
+
+  int64_t drops_before = CounterValue("server.sessions.injected_drops");
+  int64_t closed_before = CounterValue("net.channel.closed");
+  ScopedFaultInjection guard;
+  FaultRegistry& reg = FaultRegistry::Global();
+  reg.ArmNth(site::kServerSessionDrop, 1);
+  EXPECT_EQ(service_->RunUntilIdle(), 1u);  // the drop consumes one pop
+  EXPECT_EQ(reg.fired(site::kServerSessionDrop), 1u);
+  EXPECT_EQ(CounterValue("server.sessions.injected_drops") - drops_before, 1);
+  // The victim's channel keys were zeroized on the injected drop.
+  EXPECT_EQ(CounterValue("net.channel.closed") - closed_before, 1);
+
+  // Both statements (the victim and the still-queued one) complete
+  // kUnavailable: neither executed, so nothing could have leaked.
+  auto done = service_->TakeCompletions(c0.id);
+  ASSERT_EQ(done.size(), 2u);
+  for (server::Completion& c : done) {
+    EXPECT_TRUE(c.transport.IsUnavailable()) << c.transport.ToString();
+    EXPECT_TRUE(c.response_frame.empty());
+  }
+  EXPECT_EQ(service_->stats().statements_executed, 0u);
+  EXPECT_EQ(service_->stats().statements_aborted, 2u);
+
+  // Recovery: a fresh session resubmits and gets the right answer.
+  End again = Open("c0");
+  EXPECT_EQ(RunWithRecovery(again, 1), "user1");
+  EXPECT_EQ(RunWithRecovery(again, 2), "user2");
+}
+
+TEST_F(ServerFaultTest, AdmissionOverflowInjectionIsRetryableBackpressure) {
+  End c0 = Open("c0");
+  Bytes frame = SealRequest(c0, "SELECT owner FROM accounts WHERE id = 5");
+
+  int64_t injected_before =
+      CounterValue("server.admission.injected_overflows");
+  ScopedFaultInjection guard;
+  FaultRegistry& reg = FaultRegistry::Global();
+  reg.ArmNth(site::kServerAdmissionOverflow, 1);
+  auto rejected = service_->Submit(c0.id, frame);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsResourceExhausted())
+      << rejected.status().ToString();
+  EXPECT_TRUE(IsBackpressure(rejected.status()));
+  EXPECT_NE(rejected.status().message().find("injected"), std::string::npos);
+  EXPECT_EQ(reg.fired(site::kServerAdmissionOverflow), 1u);
+  EXPECT_EQ(
+      CounterValue("server.admission.injected_overflows") - injected_before,
+      1);
+
+  // The canonical backpressure loop recovers with the SAME frame — the
+  // rejection consumed no channel sequence number and no seq.
+  ASSERT_TRUE(service_->Submit(c0.id, frame).ok());
+  EXPECT_EQ(service_->RunUntilIdle(), 1u);
+  auto done = service_->TakeCompletions(c0.id);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].seq, 0u);
+  ASSERT_TRUE(done[0].transport.ok());
+  auto plain = c0.channel->Receive(done[0].response_frame, nullptr);
+  ASSERT_TRUE(plain.ok());
+  auto response = server::DecodeStatementResponse(*plain);
+  ASSERT_TRUE(response.ok());
+  ASSERT_TRUE(response->status.ok());
+  ASSERT_EQ(response->result.rows.size(), 1u);
+  EXPECT_EQ(response->result.rows[0][0].AsString(), "user5");
+}
+
+TEST_F(ServerFaultTest, RandomServerFaultSweepAlwaysRecovers) {
+  // Seed-matrixed like the storage sweep above: CI varies
+  // IRONSAFE_FAULT_SEED, and for every seed the recovery protocol must
+  // deliver every statement's correct answer despite probabilistic
+  // session drops and admission overflows.
+  uint64_t seed = 1;
+  if (const char* env = std::getenv("IRONSAFE_FAULT_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+    if (seed == 0) seed = 1;
+  }
+  ScopedFaultInjection guard;
+  FaultRegistry& reg = FaultRegistry::Global();
+  reg.ArmProbability(site::kServerSessionDrop, 0.15, seed);
+  reg.ArmProbability(site::kServerAdmissionOverflow, 0.15, seed + 1);
+
+  End c0 = Open("c0");
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(RunWithRecovery(c0, i), "user" + std::to_string(i))
+        << "seed " << seed << " statement " << i;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,12 @@
+// Clean fixture: the serving layer sits at the top of the DAG, so it may
+// include its own headers plus anything reachable through its declared
+// deps (common, obs, net, engine — and transitively monitor, sql, ...).
+#include "server/query_service.h"
+#include "server/scheduler.h"
+#include "engine/ironsafe.h"
+#include "monitor/monitor.h"
+#include "net/secure_channel.h"
+#include "obs/trace.h"
+#include "sim/fault.h"
+
+void ServerLayeringCleanFixture() {}

@@ -1,0 +1,6 @@
+// Violating fixture: linted as if it lived in src/engine/, which sits
+// below the serving layer — nothing beneath server may include it.
+#include "engine/ironsafe.h"
+#include "server/query_service.h"
+
+void ServerLayeringViolatingFixture() {}

@@ -67,6 +67,26 @@ TEST(LintLayering, TransitiveClosureIsAllowed) {
   EXPECT_EQ(diags[0].rule, "layering");
 }
 
+TEST(LintLayering, ServerMayIncludeEverythingBelow) {
+  EXPECT_TRUE(LintFixtureAs("server_layering_clean.cc",
+                            "src/server/server_layering_clean.cc")
+                  .empty());
+}
+
+TEST(LintLayering, NothingBelowServerMayIncludeIt) {
+  auto diags = LintFixtureAs("server_layering_violating.cc",
+                             "src/engine/server_layering_violating.cc");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "layering");
+  EXPECT_EQ(diags[0].line, 4);
+  EXPECT_NE(diags[0].message.find("server"), std::string::npos);
+  // The inversion is caught from every lower layer, not just engine.
+  auto net_diags = LintSource("src/net/x.cc",
+                              "#include \"server/scheduler.h\"\n");
+  ASSERT_EQ(net_diags.size(), 1u);
+  EXPECT_EQ(net_diags[0].rule, "layering");
+}
+
 TEST(LintLayering, BenchAndTestsAreUnrestricted) {
   EXPECT_TRUE(
       LintSource("bench/x.cc", "#include \"engine/ironsafe.h\"\n").empty());

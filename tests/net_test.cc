@@ -96,6 +96,36 @@ TEST_F(SecureChannelTest, NetworkCostCharged) {
   EXPECT_GT(cm.network_bytes(), payload.size());  // + AEAD overhead
 }
 
+TEST_F(SecureChannelTest, CloseFailsSubsequentSendAndReceive) {
+  // Keep a valid frame from before the close to prove Receive rejects it
+  // under the dead keys rather than decrypting with stale material.
+  auto inbound = b_->Send(ToBytes("late frame"), nullptr);
+  ASSERT_TRUE(inbound.ok());
+
+  a_->Close();
+  EXPECT_TRUE(a_->closed());
+  EXPECT_TRUE(a_->Send(ToBytes("x"), nullptr)
+                  .status()
+                  .code() == StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(a_->Receive(*inbound, nullptr).status().code() ==
+              StatusCode::kFailedPrecondition);
+  // The session id was zeroized with the keys.
+  EXPECT_EQ(a_->session_id(), Bytes(a_->session_id().size(), 0));
+  // Idempotent: a second Close is a no-op, and the peer is unaffected.
+  a_->Close();
+  auto f = b_->Send(ToBytes("peer still works"), nullptr);
+  EXPECT_TRUE(f.ok());
+}
+
+TEST_F(SecureChannelTest, CloseIsOneSided) {
+  b_->Close();
+  EXPECT_FALSE(a_->closed());
+  // a_ can still seal; nobody can open it (b_'s recv keys are gone).
+  auto frame = a_->Send(ToBytes("into the void"), nullptr);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_FALSE(b_->Receive(*frame, nullptr).ok());
+}
+
 TEST(HandshakeTest, EavesdropperCannotDecrypt) {
   crypto::Drbg d1(ToBytes("a")), d2(ToBytes("b")), d3(ToBytes("eve"));
   Handshake a(&d1), b(&d2), eve(&d3);

@@ -4,17 +4,31 @@
 # query root, required span names present).
 #
 # Invoked by ctest as:
-#   cmake -DBENCH=<fig8 binary> -DCHECK=<trace_check binary>
-#         -DOUT=<trace path> -P trace_smoke.cmake
+#   cmake -DBENCH=<bench binary> -DCHECK=<trace_check binary>
+#         -DOUT=<trace path>
+#         [-DBENCH_ARGS="<space-separated bench args>"]
+#         [-DSPANS="<space-separated required span names>"]
+#         -P trace_smoke.cmake
+#
+# BENCH_ARGS and SPANS default to the fig8 cost-breakdown invocation so
+# the original trace_smoke registration stays unchanged.
 
 foreach(var BENCH CHECK OUT)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "trace_smoke.cmake requires -D${var}=...")
   endif()
 endforeach()
+if(NOT DEFINED BENCH_ARGS)
+  set(BENCH_ARGS "0.001")
+endif()
+if(NOT DEFINED SPANS)
+  set(SPANS "query partition storage-phase host-phase scan ship")
+endif()
+separate_arguments(BENCH_ARGS)
+separate_arguments(SPANS)
 
 execute_process(
-  COMMAND ${BENCH} 0.001 --trace-json=${OUT}
+  COMMAND ${BENCH} ${BENCH_ARGS} --trace-json=${OUT}
   RESULT_VARIABLE bench_rc
   OUTPUT_VARIABLE bench_out
   ERROR_VARIABLE bench_err)
@@ -26,7 +40,7 @@ if(NOT bench_out MATCHES "trace written: ")
 endif()
 
 execute_process(
-  COMMAND ${CHECK} ${OUT} query partition storage-phase host-phase scan ship
+  COMMAND ${CHECK} ${OUT} ${SPANS}
   RESULT_VARIABLE check_rc
   OUTPUT_VARIABLE check_out
   ERROR_VARIABLE check_err)

@@ -250,6 +250,9 @@ const std::map<std::string, std::vector<std::string>>& ModuleDeps() {
       {"engine",
        {"common", "obs", "sql", "net", "monitor", "policy", "tee",
         "securestore"}},
+      // The serving layer sits on top of everything; no lower module may
+      // include server (enforced by its absence from their dep lists).
+      {"server", {"common", "obs", "net", "engine"}},
   };
   return kDeps;
 }
