@@ -1,0 +1,134 @@
+// Offline validator for the machine-readable perf baselines the figure
+// benches emit with --json (BENCH_fig6.json / BENCH_fig9.json; schema in
+// docs/EXPERIMENTS.md and bench/bench_util.h). Used by the bench_smoke
+// ctest and by hand before committing a refreshed baseline:
+//
+//   baseline_check <baseline.json> [--require-sim-improvement]
+//                                  [--require-improvement]
+//
+// Validates the schema. --require-sim-improvement additionally asserts
+// that, summed over the queries carrying a row-engine re-run, the
+// vectorized engine spent strictly fewer simulated cycles than the row
+// engine (deterministic — the bench_smoke ctest gate).
+// --require-improvement asserts the wall clock too (machine-dependent;
+// run by hand before committing a refreshed baseline).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+namespace ironsafe {
+namespace {
+
+int Fail(const std::string& msg) {
+  std::fprintf(stderr, "baseline_check: %s\n", msg.c_str());
+  return 1;
+}
+
+bool PositiveNumber(const obs::JsonValue* v) {
+  return v != nullptr && v->is_number() && v->number_value >= 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Fail("usage: baseline_check <baseline.json> [flags]");
+  bool require_sim = false;
+  bool require_wall = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--require-improvement") == 0) {
+      require_sim = true;
+      require_wall = true;
+    } else if (std::strcmp(argv[i], "--require-sim-improvement") == 0) {
+      require_sim = true;
+    } else {
+      return Fail(std::string("unknown flag: ") + argv[i]);
+    }
+  }
+
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in.good()) return Fail(std::string("cannot open ") + argv[1]);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  auto parsed = obs::JsonParse(ss.str());
+  if (!parsed.ok()) {
+    return Fail("invalid JSON: " + parsed.status().ToString());
+  }
+  const obs::JsonValue& root = *parsed;
+  if (!root.is_object()) return Fail("root is not an object");
+  const obs::JsonValue* version = root.Find("version");
+  if (version == nullptr || !version->is_number() ||
+      version->number_value != 1) {
+    return Fail("missing or unsupported \"version\" (want 1)");
+  }
+  const obs::JsonValue* benchmark = root.Find("benchmark");
+  if (benchmark == nullptr || !benchmark->is_string()) {
+    return Fail("missing \"benchmark\" string");
+  }
+  if (!PositiveNumber(root.Find("scale_factor"))) {
+    return Fail("missing \"scale_factor\" number");
+  }
+  const obs::JsonValue* queries = root.Find("queries");
+  if (queries == nullptr || !queries->is_object()) {
+    return Fail("missing \"queries\" object");
+  }
+  if (queries->object_value.empty()) return Fail("\"queries\" is empty");
+
+  double vec_cycles = 0, row_cycles = 0, vec_wall = 0, row_wall = 0;
+  int compared = 0;
+  for (const auto& [name, q] : queries->object_value) {
+    if (!q.is_object()) return Fail(name + ": entry is not an object");
+    const obs::JsonValue* sim = q.Find("sim_cycles");
+    if (!PositiveNumber(sim) || sim->number_value <= 0) {
+      return Fail(name + ": missing positive \"sim_cycles\"");
+    }
+    if (!PositiveNumber(q.Find("wall_ms"))) {
+      return Fail(name + ": missing \"wall_ms\"");
+    }
+    const obs::JsonValue* workers = q.Find("workers");
+    if (!PositiveNumber(workers) || workers->number_value < 1) {
+      return Fail(name + ": missing \"workers\" >= 1");
+    }
+    const obs::JsonValue* row_sim = q.Find("row_sim_cycles");
+    if (row_sim != nullptr) {
+      if (!PositiveNumber(row_sim) || !PositiveNumber(q.Find("row_wall_ms"))) {
+        return Fail(name + ": row_* pair must be two numbers");
+      }
+      vec_cycles += sim->number_value;
+      row_cycles += row_sim->number_value;
+      vec_wall += q.Find("wall_ms")->number_value;
+      row_wall += q.Find("row_wall_ms")->number_value;
+      ++compared;
+    }
+  }
+
+  if (require_sim) {
+    if (compared == 0) {
+      return Fail("improvement check: no row-engine entries to compare");
+    }
+    if (vec_cycles >= row_cycles) {
+      return Fail("vectorized engine not cheaper in simulated cycles: " +
+                  std::to_string(vec_cycles) + " vs row " +
+                  std::to_string(row_cycles));
+    }
+  }
+  if (require_wall && vec_wall >= row_wall) {
+    return Fail("vectorized engine not faster in wall clock: " +
+                std::to_string(vec_wall) + " ms vs row " +
+                std::to_string(row_wall) + " ms");
+  }
+
+  std::printf(
+      "baseline ok: %s, %zu queries, %d with row-engine comparison"
+      " (sim %.0f vs %.0f cycles, wall %.1f vs %.1f ms)\n",
+      benchmark->string_value.c_str(), queries->object_value.size(), compared,
+      vec_cycles, row_cycles, vec_wall, row_wall);
+  return 0;
+}
+
+}  // namespace
+}  // namespace ironsafe
+
+int main(int argc, char** argv) { return ironsafe::Main(argc, argv); }

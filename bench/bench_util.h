@@ -2,11 +2,14 @@
 #define IRONSAFE_BENCH_BENCH_UTIL_H_
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -42,6 +45,10 @@ inline double ArgScaleFactor(int argc, char** argv) {
 ///                         file dependent on the worker count)
 ///   --workers=N           cap the morsel thread pool at N workers
 ///   --clients=N           concurrent client sessions (serving benches)
+///   --json=<path>         write the machine-readable perf baseline
+///                         (BENCH_*.json schema, see BaselineWriter)
+///   --quick               truncate sweeps to a smoke-sized subset (the
+///                         bench_smoke ctest runs fig6 this way)
 struct BenchArgs {
   double scale_factor = kDefaultScaleFactor;
   std::string trace_json;  // empty = tracing off
@@ -49,6 +56,8 @@ struct BenchArgs {
   bool trace_detail = false;
   int workers = 0;  // 0 = hardware default
   int clients = 8;
+  std::string json;  // empty = no baseline file
+  bool quick = false;
 };
 
 inline BenchArgs ParseArgs(int argc, char** argv) {
@@ -67,6 +76,10 @@ inline BenchArgs ParseArgs(int argc, char** argv) {
     } else if (std::strncmp(arg, "--clients=", 10) == 0) {
       args.clients = std::atoi(arg + 10);
       if (args.clients < 1) args.clients = 1;
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      args.json = arg + 7;
+    } else if (std::strcmp(arg, "--quick") == 0) {
+      args.quick = true;
     } else if (!saw_sf) {
       double sf = std::atof(arg);
       if (sf > 0) {
@@ -169,6 +182,130 @@ inline void PrintWallClock(const WallClock& wall,
                            const char* scope = "the full sweep") {
   std::printf("wall clock: %.1f ms real for %s\n", wall.ms(), scope);
 }
+
+/// Collects per-query measurements and writes the machine-readable perf
+/// baseline committed as `BENCH_fig6.json` / `BENCH_fig9.json` and
+/// validated by the `bench_smoke` ctest. Schema (docs/EXPERIMENTS.md):
+///
+///   {"version": 1,
+///    "benchmark": "<harness name>",
+///    "scale_factor": <sf>,
+///    "queries": {
+///      "<query>": {"sim_cycles": N, "wall_ms": X, "workers": N,
+///                  "row_sim_cycles": N, "row_wall_ms": X}, ...}}
+///
+/// `sim_cycles` is the cost model's simulated elapsed time converted to
+/// host cycles at the paper profile's 3.7 GHz — integral and identical on
+/// every machine. `wall_ms` is real elapsed time for the same run: it is
+/// machine-dependent and committed for trend reading, never CI-gated.
+/// The `row_*` pair, when present, is the same query re-run on the legacy
+/// row-at-a-time engine, so the committed file carries the before/after
+/// evidence for the vectorized engine in one place.
+class BaselineWriter {
+ public:
+  BaselineWriter(const BenchArgs& args, std::string benchmark)
+      : path_(args.json),
+        benchmark_(std::move(benchmark)),
+        scale_factor_(args.scale_factor),
+        workers_(common::ThreadPool::EffectiveWorkers(
+            std::numeric_limits<int>::max())) {}
+
+  ~BaselineWriter() { Write(); }
+
+  BaselineWriter(const BaselineWriter&) = delete;
+  BaselineWriter& operator=(const BaselineWriter&) = delete;
+
+  /// Simulated nanoseconds -> host cycles at the paper profile's clock.
+  static uint64_t SimCycles(sim::SimNanos sim_ns) {
+    double ghz = sim::HardwareProfile::Paper().host_cpu.ghz;
+    return static_cast<uint64_t>(
+        std::llround(static_cast<double>(sim_ns) * ghz));
+  }
+
+  /// Records the default-engine (vectorized) measurement for `query`.
+  void Add(const std::string& query, sim::SimNanos sim_ns, double wall_ms) {
+    Entry& e = Find(query);
+    e.sim_cycles = SimCycles(sim_ns);
+    e.wall_ms = wall_ms;
+  }
+
+  /// Records the row-engine re-run of `query` (the "before" column).
+  void AddRow(const std::string& query, sim::SimNanos sim_ns,
+              double wall_ms) {
+    Entry& e = Find(query);
+    e.has_row = true;
+    e.row_sim_cycles = SimCycles(sim_ns);
+    e.row_wall_ms = wall_ms;
+  }
+
+ private:
+  struct Entry {
+    std::string query;
+    uint64_t sim_cycles = 0;
+    double wall_ms = 0;
+    bool has_row = false;
+    uint64_t row_sim_cycles = 0;
+    double row_wall_ms = 0;
+  };
+
+  Entry& Find(const std::string& query) {
+    for (Entry& e : entries_) {
+      if (e.query == query) return e;
+    }
+    entries_.push_back(Entry{});
+    entries_.back().query = query;
+    return entries_.back();
+  }
+
+  static void AppendEscaped(std::string* out, const std::string& s) {
+    for (char c : s) {
+      if (c == '"' || c == '\\') out->push_back('\\');
+      out->push_back(c);
+    }
+  }
+
+  void Write() {
+    if (path_.empty() || entries_.empty()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "baseline export failed: cannot open %s\n",
+                   path_.c_str());
+      return;
+    }
+    std::string name;
+    AppendEscaped(&name, benchmark_);
+    std::fprintf(f, "{\n  \"version\": 1,\n  \"benchmark\": \"%s\",\n",
+                 name.c_str());
+    std::fprintf(f, "  \"scale_factor\": %g,\n  \"queries\": {\n",
+                 scale_factor_);
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      std::string key;
+      AppendEscaped(&key, e.query);
+      std::fprintf(f,
+                   "    \"%s\": {\"sim_cycles\": %llu, \"wall_ms\": %.3f, "
+                   "\"workers\": %d",
+                   key.c_str(), static_cast<unsigned long long>(e.sim_cycles),
+                   e.wall_ms, workers_);
+      if (e.has_row) {
+        std::fprintf(f, ", \"row_sim_cycles\": %llu, \"row_wall_ms\": %.3f",
+                     static_cast<unsigned long long>(e.row_sim_cycles),
+                     e.row_wall_ms);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::printf("baseline written: %s (%zu queries)\n", path_.c_str(),
+                entries_.size());
+  }
+
+  std::string path_;
+  std::string benchmark_;
+  double scale_factor_;
+  int workers_;
+  std::vector<Entry> entries_;
+};
 
 inline void Die(const Status& status) {
   std::fprintf(stderr, "bench failed: %s\n", status.ToString().c_str());

@@ -6,6 +6,10 @@
 //  (b) the same query vs filter selectivity (10%..20%) at fixed size.
 //  (c) sos secure-storage overhead breakdown for Q2 and Q9 (paper: ~70-80%
 //      freshness verification, ~15% decryption).
+//
+// The scs leg of sweeps (a) and (b) is repeated on the legacy row engine;
+// `--json=<path>` commits the before/after baseline as BENCH_fig9.json
+// and `--quick` truncates every sweep for smoke runs.
 
 #include "bench/bench_util.h"
 
@@ -35,17 +39,39 @@ uint64_t DataBytes(engine::CsaSystem* system) {
   return pages * 4096;
 }
 
+/// Runs `sql` under `config` twice — vectorized, then row engine — and
+/// files both measurements with the baseline writer under `key`.
+engine::QueryOutcome RunBothEngines(engine::CsaSystem* system,
+                                    SystemConfig config,
+                                    const std::string& query_sql,
+                                    BaselineWriter* baseline,
+                                    const std::string& key) {
+  WallClock vec_wall;
+  BENCH_ASSIGN(auto vec, system->Run(config, query_sql));
+  baseline->Add(key, vec.cost.elapsed_ns(), vec_wall.ms());
+
+  system->set_engine(sql::ExecEngine::kRow);
+  WallClock row_wall;
+  BENCH_ASSIGN(auto row, system->Run(config, query_sql));
+  baseline->AddRow(key, row.cost.elapsed_ns(), row_wall.ms());
+  system->set_engine(sql::ExecEngine::kVectorized);
+  return vec;
+}
+
 int Main(int argc, char** argv) {
   BenchArgs args = ParseArgs(argc, argv);
   double base_sf = args.scale_factor;
   BenchTracer tracer(args);
+  BaselineWriter baseline(args, "fig9_microbench");
   WallClock wall;
 
   // ---- (a) input-size sweep: SF x1, x4/3, x5/3 (paper: SF 3, 4, 5) ----
   PrintHeader("Figure 9a: Q1 latency vs input size (hos/scs/sos)");
   std::printf("%8s %12s %12s %12s %12s\n", "sf", "hos(ms)", "scs(ms)",
               "sos(ms)", "epc-faults");
-  for (double mult : {1.0, 4.0 / 3.0, 5.0 / 3.0}) {
+  std::vector<double> mults = {1.0, 4.0 / 3.0, 5.0 / 3.0};
+  if (args.quick) mults.resize(1);
+  for (double mult : mults) {
     double sf = base_sf * mult;
     CsaOptions options;
     options.scale_factor = sf;
@@ -61,7 +87,10 @@ int Main(int argc, char** argv) {
     BENCH_ASSIGN(auto system, MakeLoadedSystem(sf, options));
     std::string q = FilterQuery("1995-06-17");
     BENCH_ASSIGN(auto hos, system->Run(SystemConfig::kHos, q));
-    BENCH_ASSIGN(auto scs, system->Run(SystemConfig::kScs, q));
+    char key[48];
+    std::snprintf(key, sizeof(key), "q1-size-x%.2f", mult);
+    auto scs = RunBothEngines(system.get(), SystemConfig::kScs, q,
+                              &baseline, key);
     BENCH_ASSIGN(auto sos, system->Run(SystemConfig::kSos, q));
     std::printf("%8.4f %12.3f %12.3f %12.3f %12llu\n", sf,
                 hos.cost.elapsed_ms(), scs.cost.elapsed_ms(),
@@ -77,8 +106,10 @@ int Main(int argc, char** argv) {
   std::printf("%12s %10s %12s %12s %12s\n", "selectivity", "rows", "hos(ms)",
               "scs(ms)", "sos(ms)");
   // Ship dates span 1992-01..1998-12; cutoffs pick ~10%..20% of rows.
-  for (const char* cutoff : {"1992-09-01", "1992-11-01", "1993-01-01",
-                             "1993-03-01", "1993-05-01"}) {
+  std::vector<const char*> cutoffs = {"1992-09-01", "1992-11-01", "1993-01-01",
+                                      "1993-03-01", "1993-05-01"};
+  if (args.quick) cutoffs.resize(2);
+  for (const char* cutoff : cutoffs) {
     std::string q = FilterQuery(cutoff);
     std::string count_q = std::string("SELECT count(*) FROM lineitem WHERE "
                                       "l_shipdate <= DATE '") + cutoff + "'";
@@ -88,7 +119,8 @@ int Main(int argc, char** argv) {
     double sel = 100.0 * static_cast<double>(matching.result.rows[0][0].AsInt()) /
                  static_cast<double>(total.result.rows[0][0].AsInt());
     BENCH_ASSIGN(auto hos, system->Run(SystemConfig::kHos, q));
-    BENCH_ASSIGN(auto scs, system->Run(SystemConfig::kScs, q));
+    auto scs = RunBothEngines(system.get(), SystemConfig::kScs, q, &baseline,
+                              std::string("q1-sel-") + cutoff);
     BENCH_ASSIGN(auto sos, system->Run(SystemConfig::kSos, q));
     std::printf("%11.1f%% %10lld %12.3f %12.3f %12.3f\n", sel,
                 static_cast<long long>(matching.result.rows[0][0].AsInt()),
@@ -102,7 +134,8 @@ int Main(int argc, char** argv) {
               "decrypt%", "other%");
   for (int qnum : {2, 9}) {
     BENCH_ASSIGN(const tpch::TpchQuery* query, tpch::GetQuery(qnum));
-    BENCH_ASSIGN(auto sos, system->Run(SystemConfig::kSos, query->sql));
+    auto sos = RunBothEngines(system.get(), SystemConfig::kSos, query->sql,
+                              &baseline, "q" + std::to_string(qnum) + "-sos");
     double total = static_cast<double>(sos.cost.elapsed_ns());
     double fresh = 100.0 * static_cast<double>(sos.cost.freshness_ns()) / total;
     double decrypt = 100.0 * static_cast<double>(sos.cost.decrypt_ns()) / total;

@@ -1,9 +1,14 @@
 // google-benchmark microbenchmarks of the primitives every IronSafe
 // query exercises: hashing, MACs, page encryption, signatures, the
-// Merkle tree, the secure page store, and the secure channel.
+// Merkle tree, the secure page store, the secure channel, and the
+// vectorized engine's filter/hash-probe kernels (with a boxed
+// row-at-a-time counterpart for before/after comparison).
 
 #include <benchmark/benchmark.h>
 
+#include <unordered_map>
+
+#include "bench/bench_util.h"
 #include "crypto/aes.h"
 #include "crypto/chacha20.h"
 #include "crypto/ed25519.h"
@@ -13,6 +18,9 @@
 #include "net/secure_channel.h"
 #include "securestore/merkle_tree.h"
 #include "securestore/secure_store.h"
+#include "sql/column_batch.h"
+#include "sql/value.h"
+#include "sql/vector_kernels.h"
 
 namespace ironsafe {
 namespace {
@@ -134,7 +142,120 @@ void BM_SecureChannelRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_SecureChannelRoundTrip)->Arg(1024)->Arg(65536);
 
+// ---- Vectorized-engine kernels ----
+// One ColumnBatch worth of rows per iteration, matching the batch size
+// the executor feeds the kernels.
+
+constexpr size_t kKernelRows = sql::ColumnBatch::kBatchRows;
+
+/// Values 0..99 round-robin, so a cutoff of `pct` keeps ~pct% of rows.
+std::vector<int64_t> KernelColumn() {
+  std::vector<int64_t> vals(kKernelRows);
+  for (size_t i = 0; i < kKernelRows; ++i) {
+    vals[i] = static_cast<int64_t>(i % 100);
+  }
+  return vals;
+}
+
+/// FilterI64 over a full batch; Arg = selectivity in percent (0/50/100).
+void BM_VecFilterI64(benchmark::State& state) {
+  std::vector<int64_t> vals = KernelColumn();
+  int64_t cutoff = state.range(0);  // keeps vals[i] < cutoff
+  std::vector<uint32_t> sel(kKernelRows);
+  for (auto _ : state) {
+    for (size_t i = 0; i < kKernelRows; ++i) sel[i] = static_cast<uint32_t>(i);
+    benchmark::DoNotOptimize(sql::vec::FilterI64(
+        vals.data(), sql::vec::CmpOp::kLt, cutoff, sel.data(), kKernelRows));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kKernelRows));
+}
+BENCHMARK(BM_VecFilterI64)->Arg(0)->Arg(50)->Arg(100);
+
+/// The row engine's equivalent: one boxed Value compare per row. The
+/// BM_VecFilterI64 / BM_RowFilterValue ratio is the per-tuple overhead
+/// the vectorized engine removes.
+void BM_RowFilterValue(benchmark::State& state) {
+  std::vector<int64_t> raw = KernelColumn();
+  std::vector<sql::Value> vals;
+  vals.reserve(kKernelRows);
+  for (int64_t v : raw) vals.push_back(sql::Value::Int(v));
+  sql::Value cutoff = sql::Value::Int(state.range(0));
+  std::vector<uint32_t> sel;
+  sel.reserve(kKernelRows);
+  for (auto _ : state) {
+    sel.clear();
+    for (size_t i = 0; i < kKernelRows; ++i) {
+      if (vals[i].Compare(cutoff) < 0) sel.push_back(static_cast<uint32_t>(i));
+    }
+    benchmark::DoNotOptimize(sel.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kKernelRows));
+}
+BENCHMARK(BM_RowFilterValue)->Arg(0)->Arg(50)->Arg(100);
+
+/// Normalized-key hash probe at varying batch sizes; Arg = probe batch.
+/// Build side: 64Ki keys, every probe hits.
+void BM_VecHashProbe(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  constexpr size_t kBuildKeys = 64 * 1024;
+  std::unordered_map<std::string, uint32_t> build;
+  build.reserve(kBuildKeys);
+  std::vector<uint8_t> key;
+  for (size_t i = 0; i < kBuildKeys; ++i) {
+    key.clear();
+    sql::vec::AppendKeyI64(&key, static_cast<int64_t>(i));
+    build.emplace(std::string(key.begin(), key.end()),
+                  static_cast<uint32_t>(i));
+  }
+  std::vector<int64_t> probes(batch);
+  for (size_t i = 0; i < batch; ++i) {
+    probes[i] = static_cast<int64_t>((i * 2654435761u) % kBuildKeys);
+  }
+  std::string probe_key;
+  for (auto _ : state) {
+    uint64_t matched = 0;
+    for (size_t i = 0; i < batch; ++i) {
+      key.clear();
+      sql::vec::AppendKeyI64(&key, probes[i]);
+      probe_key.assign(key.begin(), key.end());
+      auto it = build.find(probe_key);
+      if (it != build.end()) matched += it->second;
+    }
+    benchmark::DoNotOptimize(matched);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_VecHashProbe)->Arg(64)->Arg(256)->Arg(2048)->Arg(8192);
+
+/// FNV prehash of normalized keys, the probe loop's hashing component.
+void BM_VecKeyHash(benchmark::State& state) {
+  std::vector<int64_t> vals = KernelColumn();
+  std::vector<uint8_t> key;
+  for (auto _ : state) {
+    uint64_t h = 0;
+    for (size_t i = 0; i < kKernelRows; ++i) {
+      key.clear();
+      sql::vec::AppendKeyI64(&key, vals[i]);
+      h ^= sql::vec::HashBytes(key.data(), key.size());
+    }
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kKernelRows));
+}
+BENCHMARK(BM_VecKeyHash);
+
 }  // namespace
 }  // namespace ironsafe
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ironsafe::bench::WallClock wall;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  ironsafe::bench::PrintWallClock(wall, "all microbenchmarks");
+  return 0;
+}

@@ -175,6 +175,23 @@ void ConfigurablePageStore::EndParallelRead() {
   parallel_slots_ = 0;
 }
 
+std::shared_ptr<const sql::ColumnBatch> ConfigurablePageStore::CachedBatch(
+    uint64_t id) {
+  // No LRU touch and no counter: the caller already went through
+  // ReadPage for this id, which did both. Locked unconditionally — the
+  // vectorized scan calls this inside parallel brackets.
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cached_.find(id);
+  return it != cached_.end() ? it->second.batch : nullptr;
+}
+
+void ConfigurablePageStore::CacheBatch(
+    uint64_t id, std::shared_ptr<const sql::ColumnBatch> batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cached_.find(id);
+  if (it != cached_.end()) it->second.batch = std::move(batch);
+}
+
 Status ConfigurablePageStore::WritePage(uint64_t id, const Bytes& page,
                                         sim::CostModel* cost) {
   auto it = cached_.find(id);
@@ -243,6 +260,7 @@ sql::ExecOptions CsaSystem::StorageExecOptions() const {
   opts.site = sim::Site::kStorage;
   opts.parallelism = options_.storage_cores;
   opts.memory_cap_bytes = options_.storage_memory_bytes;
+  opts.engine = options_.engine;
   return opts;
 }
 
@@ -283,6 +301,7 @@ Status CsaSystem::ExecuteHostOnly(const std::string& sql, bool secure,
 
   sql::ExecOptions opts;  // host site
   opts.parallelism = options_.host_parallelism;
+  opts.engine = options_.engine;
   obs::SpanGuard exec_span("host-execute", "engine", &outcome->cost);
   auto result = db->Execute(sql, &outcome->cost, opts);
   exec_span.Tag("pages_read", static_cast<int64_t>(access->pages_read()));
@@ -481,6 +500,7 @@ Result<QueryOutcome> CsaSystem::RunSplit(const std::string& sql, bool secure) {
   // Phase 2: the host engine runs the remainder over the shipped tables.
   obs::SpanGuard host_span("host-phase", "engine", &outcome.cost);
   sql::ExecOptions host_opts;  // host site
+  host_opts.engine = options_.engine;
   auto host_result =
       sql::ExecuteSelect(host_db.get(), *plan.host_query, nullptr,
                          &outcome.cost, host_opts, &outcome.stats);

@@ -50,6 +50,9 @@ struct CsaOptions {
   /// fan-out is `storage_cores`. The paper's host-only baselines run one
   /// query thread, so the default stays 1.
   int host_parallelism = 1;
+  /// SQL execution engine for both sides (vectorized by default; the row
+  /// engine remains for before/after benches and differential tests).
+  sql::ExecEngine engine = sql::ExecEngine::kVectorized;
 };
 
 /// Everything measured about one query execution.
@@ -115,6 +118,13 @@ class ConfigurablePageStore : public sql::PageStore {
   void BeginParallelRead(int slots) override;
   void EndParallelRead() override;
 
+  /// Decoded-batch cache (see sql::PageStore): columnar decodes ride on
+  /// the page-cache entries, so capacity and eviction are shared with
+  /// the encoded bytes and ClearCache drops both.
+  std::shared_ptr<const sql::ColumnBatch> CachedBatch(uint64_t id) override;
+  void CacheBatch(uint64_t id,
+                  std::shared_ptr<const sql::ColumnBatch> batch) override;
+
   uint64_t pages_read() const { return pages_read_; }
   void ResetCounters() { pages_read_ = 0; }
 
@@ -122,6 +132,8 @@ class ConfigurablePageStore : public sql::PageStore {
   struct CacheEntry {
     std::list<uint64_t>::iterator lru_it;
     Bytes data;
+    /// Columnar decode of `data`, filled lazily by the vectorized engine.
+    std::shared_ptr<const sql::ColumnBatch> batch;
   };
   struct PageAccess {
     uint64_t id;
@@ -184,6 +196,7 @@ class CsaSystem {
     options_.aggregation_pushdown = on;
   }
   void set_host_parallelism(int n) { options_.host_parallelism = n; }
+  void set_engine(sql::ExecEngine engine) { options_.engine = engine; }
   sql::Database* plain_db() { return plain_db_.get(); }
   sql::Database* secure_db() { return secure_db_.get(); }
   tee::SgxEnclave* host_enclave() { return host_enclave_.get(); }

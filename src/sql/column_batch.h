@@ -1,0 +1,106 @@
+#ifndef IRONSAFE_SQL_COLUMN_BATCH_H_
+#define IRONSAFE_SQL_COLUMN_BATCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/schema.h"
+
+namespace ironsafe::sql {
+
+/// Selection vector: indices of the active rows of a ColumnBatch, in
+/// ascending order. Operators narrow the selection instead of copying
+/// rows; rows materialize only at pipeline breakers (join emit, final
+/// projection).
+using SelVec = std::vector<uint32_t>;
+
+/// Column-major decode of up to ~2K rows — the unit of batch-at-a-time
+/// execution. A batch is decoded once from a (decrypted) page or row
+/// block; each column stores a per-row type tag plus a dense numeric
+/// payload array (int64/bool/date payloads verbatim, doubles bit-cast to
+/// their IEEE-754 pattern) so tight kernels can scan raw arrays without
+/// touching Value. Strings live in a parallel array allocated only for
+/// columns that contain at least one string.
+///
+/// Batches are immutable after the decode fills them (shared_ptr<const>
+/// across operators and the page store's decoded-batch cache).
+class ColumnBatch {
+ public:
+  /// Upper bound chosen so one batch covers any 4 KiB heap-file page
+  /// (u16 row count) and one MemoryTable morsel block.
+  static constexpr size_t kBatchRows = 2048;
+
+  struct Col {
+    /// static_cast<uint8_t>(Type) per row.
+    std::vector<uint8_t> tags;
+    /// Numeric payload per row: int64/date/bool verbatim, double as its
+    /// bit pattern, 0 for null/string.
+    std::vector<int64_t> nums;
+    /// Sized rows() only when has_string (empty strings elsewhere).
+    std::vector<std::string> strs;
+    bool has_null = false;
+    bool has_string = false;
+
+    /// True when every row carries `tag` (vacuously false when empty) —
+    /// the precondition for typed kernels, which assume one payload
+    /// interpretation for the whole array.
+    bool UniformTag(uint8_t tag) const {
+      return !tags.empty() && uniform_ && tags[0] == tag;
+    }
+    bool uniform() const { return !tags.empty() && uniform_; }
+    uint8_t first_tag() const { return tags.empty() ? 0 : tags[0]; }
+
+   private:
+    friend class ColumnBatch;
+    bool uniform_ = true;
+  };
+
+  explicit ColumnBatch(size_t num_cols) : cols_(num_cols) {}
+
+  size_t rows() const { return rows_; }
+  size_t num_cols() const { return cols_.size(); }
+  const Col& col(size_t c) const { return cols_[c]; }
+
+  void AppendRow(const Row& row);
+  /// Appends one serialized row (u16 value count + tagged values) —
+  /// the heap-file page layout — decoding straight into the columns.
+  Status AppendSerialized(ByteReader* reader);
+
+  /// Rebuilds the Value at (col, row).
+  Value GetValue(size_t c, size_t r) const;
+  /// Rebuilds the full row at `r` (resizes `out` to num_cols()).
+  void MaterializeRow(size_t r, Row* out) const;
+
+  /// In-memory footprint of row `r` under the row engine's accounting
+  /// (RowBytes), so both engines see the same working-set sizes.
+  size_t row_bytes(size_t r) const { return row_bytes_[r]; }
+  uint64_t total_row_bytes() const { return total_row_bytes_; }
+
+  /// Decodes a heap-file page (u16 row count || serialized rows) into a
+  /// fresh batch.
+  static Result<std::shared_ptr<const ColumnBatch>> FromPage(
+      const Bytes& page, size_t num_cols);
+
+ private:
+  void PushValue(size_t c, const Value& v);
+
+  std::vector<Col> cols_;
+  std::vector<uint32_t> row_bytes_;
+  uint64_t total_row_bytes_ = 0;
+  size_t rows_ = 0;
+};
+
+/// One batch plus its active-row selection; the unit flowing between
+/// vectorized operators.
+struct VecBatch {
+  std::shared_ptr<const ColumnBatch> batch;
+  SelVec sel;
+
+  size_t active() const { return sel.size(); }
+};
+
+}  // namespace ironsafe::sql
+
+#endif  // IRONSAFE_SQL_COLUMN_BATCH_H_

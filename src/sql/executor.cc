@@ -11,27 +11,13 @@
 #include "common/thread_pool.h"
 #include "obs/trace.h"
 #include "sql/database.h"
+#include "sql/exec_internal.h"
 
 namespace ironsafe::sql {
 
+namespace exec {
+
 namespace {
-
-// Per-row work constants (cycles); relative magnitudes matter, not the
-// absolute values — they seed the simulated CPU cost of operators.
-constexpr uint64_t kScanRowCycles = 180;
-constexpr uint64_t kFilterCycles = 80;
-constexpr uint64_t kJoinBuildCycles = 180;
-constexpr uint64_t kJoinProbeCycles = 220;
-constexpr uint64_t kAggUpdateCycles = 200;
-constexpr uint64_t kSortCmpCycles = 90;
-constexpr uint64_t kProjectCycles = 120;
-
-// Fan-out floors: below these per-worker shares, morsel overhead beats
-// the parallel win, so the planner shrinks the worker count. Partition
-// boundaries depend only on (work size, worker count), never on thread
-// scheduling.
-constexpr uint64_t kMinScanUnitsPerWorker = 2;
-constexpr uint64_t kMinJoinRowsPerWorker = 512;
 
 struct RelData {
   Schema schema;
@@ -42,351 +28,6 @@ size_t RelBytes(const RelData& rel) {
   size_t total = 0;
   for (const Row& r : rel.rows) total += RowBytes(r);
   return total;
-}
-
-class ExecSubqueryRunner : public SubqueryRunner {
- public:
-  ExecSubqueryRunner(Database* db, sim::CostModel* cost,
-                     const ExecOptions& opts)
-      : db_(db), cost_(cost), opts_(opts) {
-    // Correlated subqueries re-execute per outer row; their stage spans
-    // would dwarf the trace without adding structure.
-    opts_.trace = false;
-  }
-
-  /// Uncorrelated subqueries execute once and are cached (keyed by AST
-  /// node); a subquery that fails without the outer scope is correlated
-  /// and re-executes per outer row.
-  Result<QueryResult> RunSubquery(const SelectStmt& stmt,
-                                  const EvalScope* outer) override {
-    auto it = cache_.find(&stmt);
-    if (it != cache_.end()) return it->second;
-    if (!correlated_.count(&stmt)) {
-      auto r = ExecuteSelect(db_, stmt, nullptr, cost_, opts_);
-      if (r.ok()) {
-        cache_.emplace(&stmt, *r);
-        return *r;
-      }
-      correlated_.insert(&stmt);
-    }
-    return ExecuteSelect(db_, stmt, outer, cost_, opts_);
-  }
-
-  bool IsCached(const SelectStmt& stmt) const override {
-    return cache_.count(&stmt) > 0;
-  }
-
- private:
-  Database* db_;
-  sim::CostModel* cost_;
-  ExecOptions opts_;
-  std::map<const SelectStmt*, QueryResult> cache_;
-  std::set<const SelectStmt*> correlated_;
-};
-
-/// Shared execution state for one SELECT.
-struct Ctx {
-  Database* db = nullptr;
-  sim::CostModel* cost = nullptr;
-  ExecOptions opts;
-  ExecStats* stats = nullptr;
-  const EvalScope* outer = nullptr;
-  std::unique_ptr<ExecSubqueryRunner> runner;
-  std::unique_ptr<Evaluator> eval;
-  uint64_t pending_cycles = 0;
-  /// True when stage spans go to the current thread's tracer. Untraced
-  /// runs keep the seed behavior exactly: charges stay batched until the
-  /// single flush at query end.
-  bool traced = false;
-
-  void Charge(uint64_t cycles) { pending_cycles += cycles; }
-
-  void FlushCharges() {
-    if (cost != nullptr && pending_cycles > 0) {
-      cost->ChargeParallelCycles(opts.site, pending_cycles, opts.parallelism);
-    }
-    pending_cycles = 0;
-  }
-
-  void TrackMemory(uint64_t bytes) {
-    if (stats != nullptr) {
-      stats->peak_memory_bytes = std::max(stats->peak_memory_bytes, bytes);
-    }
-    if (bytes > opts.memory_cap_bytes) {
-      uint64_t overflow = bytes - opts.memory_cap_bytes;
-      if (stats != nullptr) stats->spill_bytes += overflow;
-      if (cost != nullptr) {
-        // Spill: write the overflow out and read it back.
-        cost->ChargeDiskWrite(overflow);
-        cost->ChargeDiskRead(overflow);
-      }
-    }
-  }
-};
-
-/// Pipeline-stage span. Batched CPU cycles are flushed to the cost model
-/// on both edges so the span's simulated interval covers the stage's CPU
-/// work. Flush points are stage boundaries — the same sequence for every
-/// worker count — so traced runs stay deterministic; untraced runs skip
-/// the flushes and match the seed's charging bit for bit.
-class StageSpan {
- public:
-  StageSpan(Ctx* ctx, std::string_view name) : ctx_(ctx) {
-    if (ctx_->traced) {
-      ctx_->FlushCharges();
-      id_ = obs::CurrentTracer()->OpenSpan(name, "sql", ctx_->cost);
-      open_ = true;
-    }
-  }
-  ~StageSpan() { Close(); }
-
-  void Close() {
-    if (open_) {
-      ctx_->FlushCharges();
-      obs::CurrentTracer()->CloseSpan(id_, ctx_->cost);
-      open_ = false;
-    }
-  }
-  void Tag(std::string_view key, int64_t value) {
-    if (open_) obs::CurrentTracer()->AddTag(id_, key, value);
-  }
-  void Tag(std::string_view key, std::string_view value) {
-    if (open_) obs::CurrentTracer()->AddTag(id_, key, value);
-  }
-
-  StageSpan(const StageSpan&) = delete;
-  StageSpan& operator=(const StageSpan&) = delete;
-
- private:
-  Ctx* ctx_;
-  int64_t id_ = -1;
-  bool open_ = false;
-};
-
-// ---- Expression analysis helpers ----
-
-void SplitConjuncts(const Expr* e, std::vector<const Expr*>* out) {
-  if (e == nullptr) return;
-  if (e->kind == ExprKind::kBinary && e->bin_op == BinOp::kAnd) {
-    SplitConjuncts(e->left.get(), out);
-    SplitConjuncts(e->right.get(), out);
-    return;
-  }
-  out->push_back(e);
-}
-
-void CollectColumns(const Expr& e, std::set<std::string>* cols,
-                    bool* has_subquery) {
-  switch (e.kind) {
-    case ExprKind::kColumn:
-      cols->insert(e.column_name);
-      return;
-    case ExprKind::kScalarSubquery:
-    case ExprKind::kExists:
-    case ExprKind::kInSubquery:
-      *has_subquery = true;
-      if (e.left) CollectColumns(*e.left, cols, has_subquery);
-      return;
-    default:
-      break;
-  }
-  if (e.left) CollectColumns(*e.left, cols, has_subquery);
-  if (e.right) CollectColumns(*e.right, cols, has_subquery);
-  for (const auto& a : e.args) CollectColumns(*a, cols, has_subquery);
-  for (const auto& [w, t] : e.when_clauses) {
-    CollectColumns(*w, cols, has_subquery);
-    CollectColumns(*t, cols, has_subquery);
-  }
-  if (e.else_expr) CollectColumns(*e.else_expr, cols, has_subquery);
-}
-
-bool ResolvableBy(const std::set<std::string>& cols, const Schema& schema) {
-  // Find() returns -1 when absent; -2 (ambiguous) still counts as present.
-  for (const std::string& c : cols) {
-    if (schema.Find(c) == -1) return false;
-  }
-  return true;
-}
-
-struct ConjunctInfo {
-  const Expr* expr = nullptr;
-  std::set<std::string> columns;
-  bool has_subquery = false;
-  bool consumed = false;
-};
-
-std::vector<ConjunctInfo> AnalyzeConjuncts(const Expr* where) {
-  std::vector<const Expr*> parts;
-  SplitConjuncts(where, &parts);
-  std::vector<ConjunctInfo> infos;
-  for (const Expr* e : parts) {
-    ConjunctInfo info;
-    info.expr = e;
-    CollectColumns(*e, &info.columns, &info.has_subquery);
-    infos.push_back(std::move(info));
-  }
-  return infos;
-}
-
-bool HasAggregate(const Expr& e) {
-  if (e.kind == ExprKind::kAggregate) return true;
-  if (e.left && HasAggregate(*e.left)) return true;
-  if (e.right && HasAggregate(*e.right)) return true;
-  for (const auto& a : e.args) {
-    if (HasAggregate(*a)) return true;
-  }
-  for (const auto& [w, t] : e.when_clauses) {
-    if (HasAggregate(*w) || HasAggregate(*t)) return true;
-  }
-  if (e.else_expr && HasAggregate(*e.else_expr)) return true;
-  return false;  // subquery bodies have their own aggregation contexts
-}
-
-void CollectAggregates(const Expr& e,
-                       std::map<std::string, const Expr*>* aggs) {
-  if (e.kind == ExprKind::kAggregate) {
-    aggs->emplace(e.ToString(), &e);
-    return;
-  }
-  if (e.left) CollectAggregates(*e.left, aggs);
-  if (e.right) CollectAggregates(*e.right, aggs);
-  for (const auto& a : e.args) CollectAggregates(*a, aggs);
-  for (const auto& [w, t] : e.when_clauses) {
-    CollectAggregates(*w, aggs);
-    CollectAggregates(*t, aggs);
-  }
-  if (e.else_expr) CollectAggregates(*e.else_expr, aggs);
-}
-
-/// Clones `e`, replacing any subtree whose printed form is in `names`
-/// with a column reference of that name (the post-aggregation schema
-/// names its columns by printed expression).
-ExprPtr RewriteToColumns(const Expr& e, const std::set<std::string>& names) {
-  std::string printed = e.ToString();
-  if (names.count(printed)) return Expr::MakeColumn(printed);
-  ExprPtr c = e.Clone();
-  if (c->left) c->left = RewriteToColumns(*e.left, names);
-  if (c->right) c->right = RewriteToColumns(*e.right, names);
-  for (size_t i = 0; i < c->args.size(); ++i) {
-    c->args[i] = RewriteToColumns(*e.args[i], names);
-  }
-  for (size_t i = 0; i < c->when_clauses.size(); ++i) {
-    c->when_clauses[i].first =
-        RewriteToColumns(*e.when_clauses[i].first, names);
-    c->when_clauses[i].second =
-        RewriteToColumns(*e.when_clauses[i].second, names);
-  }
-  if (c->else_expr) c->else_expr = RewriteToColumns(*e.else_expr, names);
-  return c;
-}
-
-/// Best-effort static type inference for output schemas.
-Type InferType(const Expr& e, const Schema& schema) {
-  switch (e.kind) {
-    case ExprKind::kLiteral:
-      return e.literal.type();
-    case ExprKind::kColumn: {
-      int idx = schema.Find(e.column_name);
-      return idx >= 0 ? schema.column(idx).type : Type::kNull;
-    }
-    case ExprKind::kUnary:
-      return e.un_op == UnOp::kNot ? Type::kBool : InferType(*e.left, schema);
-    case ExprKind::kBinary:
-      switch (e.bin_op) {
-        case BinOp::kEq: case BinOp::kNe: case BinOp::kLt: case BinOp::kLe:
-        case BinOp::kGt: case BinOp::kGe: case BinOp::kAnd: case BinOp::kOr:
-          return Type::kBool;
-        case BinOp::kConcat:
-          return Type::kString;
-        case BinOp::kDiv:
-          return Type::kDouble;
-        default: {
-          Type l = InferType(*e.left, schema);
-          Type r = InferType(*e.right, schema);
-          if (l == Type::kDate || r == Type::kDate) {
-            return e.bin_op == BinOp::kSub && l == Type::kDate &&
-                           r == Type::kDate
-                       ? Type::kInt64
-                       : Type::kDate;
-          }
-          if (l == Type::kDouble || r == Type::kDouble) return Type::kDouble;
-          return Type::kInt64;
-        }
-      }
-    case ExprKind::kAggregate:
-      switch (e.agg_func) {
-        case AggFunc::kCount:
-        case AggFunc::kCountStar:
-          return Type::kInt64;
-        case AggFunc::kAvg:
-          return Type::kDouble;
-        case AggFunc::kSum: {
-          Type t = InferType(*e.args[0], schema);
-          return t == Type::kInt64 ? Type::kInt64 : Type::kDouble;
-        }
-        case AggFunc::kMin:
-        case AggFunc::kMax:
-          return InferType(*e.args[0], schema);
-      }
-      return Type::kNull;
-    case ExprKind::kFunction: {
-      const std::string& f = e.func_name;
-      if (f == "year" || f == "month" || f == "day" || f == "length") {
-        return Type::kInt64;
-      }
-      if (f == "date_add") return Type::kDate;
-      if (f == "substr" || f == "substring" || f == "upper" || f == "lower") {
-        return Type::kString;
-      }
-      if (f == "round" || f == "abs") return InferType(*e.args[0], schema);
-      if (f == "coalesce" && !e.args.empty()) {
-        return InferType(*e.args[0], schema);
-      }
-      return Type::kNull;
-    }
-    case ExprKind::kCase:
-      if (!e.when_clauses.empty()) {
-        return InferType(*e.when_clauses[0].second, schema);
-      }
-      return Type::kNull;
-    case ExprKind::kScalarSubquery:
-      return Type::kDouble;  // unknown without executing; numeric is common
-    default:
-      return Type::kBool;  // predicates
-  }
-}
-
-Bytes KeyOf(const std::vector<Value>& values) {
-  Bytes key;
-  for (const Value& v : values) {
-    // Normalize numerics so INT 3 and DOUBLE 3.0 group/join together.
-    if (v.IsNumeric() && v.type() != Type::kDate) {
-      key.push_back(1);
-      double d = v.AsDouble();
-      uint64_t bits;
-      std::memcpy(&bits, &d, 8);
-      PutU64(&key, bits);
-    } else {
-      v.Serialize(&key);
-    }
-  }
-  return key;
-}
-
-// ---- Parallel execution helpers ----
-
-/// Number of workers for a parallelizable stage of `work` units. The
-/// result depends only on the requested fan-out, the pool's worker cap
-/// and the work size — never on thread scheduling — so the partition
-/// (and therefore row order and merged cost) is reproducible.
-int PlanWorkers(const Ctx& ctx, uint64_t work, uint64_t min_per_worker) {
-  int workers = common::ThreadPool::EffectiveWorkers(ctx.opts.parallelism);
-  if (min_per_worker > 0) {
-    uint64_t fit = std::max<uint64_t>(1, work / min_per_worker);
-    workers = static_cast<int>(
-        std::min<uint64_t>(static_cast<uint64_t>(workers), fit));
-  }
-  return std::max(1, workers);
 }
 
 /// Private result of one scan worker; merged into the query state in
@@ -929,9 +570,11 @@ Result<RelData> Aggregate(Ctx* ctx, RelData input, const SelectStmt& stmt,
 
 }  // namespace
 
-Result<QueryResult> ExecuteSelect(Database* db, const SelectStmt& stmt,
-                                  const EvalScope* outer, sim::CostModel* cost,
-                                  const ExecOptions& opts, ExecStats* stats) {
+Result<QueryResult> ExecuteSelectRow(Database* db, const SelectStmt& stmt,
+                                     const EvalScope* outer,
+                                     sim::CostModel* cost,
+                                     const ExecOptions& opts,
+                                     ExecStats* stats) {
   Ctx ctx;
   ctx.db = db;
   ctx.cost = cost;
@@ -1203,6 +846,17 @@ Result<QueryResult> ExecuteSelect(Database* db, const SelectStmt& stmt,
   select_span.Tag("rows_out", static_cast<int64_t>(result.rows.size()));
   ctx.FlushCharges();
   return result;
+}
+
+}  // namespace exec
+
+Result<QueryResult> ExecuteSelect(Database* db, const SelectStmt& stmt,
+                                  const EvalScope* outer, sim::CostModel* cost,
+                                  const ExecOptions& opts, ExecStats* stats) {
+  if (opts.engine == ExecEngine::kRow) {
+    return exec::ExecuteSelectRow(db, stmt, outer, cost, opts, stats);
+  }
+  return exec::ExecuteSelectVectorized(db, stmt, outer, cost, opts, stats);
 }
 
 }  // namespace ironsafe::sql

@@ -12,6 +12,19 @@ namespace ironsafe::sql {
 
 class Database;
 
+/// Which execution engine runs the SELECT pipeline.
+///  - kVectorized (default): batch-at-a-time columnar execution — pages
+///    are decoded once into ~2K-row ColumnBatches, predicates narrow
+///    selection vectors instead of materializing rows, and tight typed
+///    kernels handle filter/join-key/aggregate/project work.
+///  - kRow: the legacy row-at-a-time volcano engine, kept for result
+///    parity testing and as the perf baseline in the benches.
+/// Both engines return identical rows, stats and traces for the same
+/// query; their simulated cost accounts differ (the vectorized engine
+/// charges cheaper per-row constants, see docs/COST_MODEL.md) but each
+/// is bit-identical across real worker counts.
+enum class ExecEngine { kVectorized, kRow };
+
 /// Execution knobs. `site` decides which simulated CPU is charged for
 /// operator work; `memory_cap_bytes` models the storage server's memory
 /// limit (paper Figure 11) — working sets beyond it pay spill I/O;
@@ -30,6 +43,7 @@ struct ExecOptions {
   /// when none is installed). Scalar/correlated subqueries run with this
   /// off — they re-execute per outer row and would flood the trace.
   bool trace = true;
+  ExecEngine engine = ExecEngine::kVectorized;
 };
 
 /// Statistics accumulated while executing one query.

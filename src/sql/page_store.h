@@ -12,6 +12,8 @@
 
 namespace ironsafe::sql {
 
+class ColumnBatch;
+
 /// Fixed-size page storage abstraction under the relational engine.
 /// Implementations differ in where pages live and what security work the
 /// read path performs — this is exactly the seam the paper's five system
@@ -44,6 +46,22 @@ class PageStore {
   /// read paths are const-safe under concurrency.
   virtual void BeginParallelRead(int slots) { (void)slots; }
   virtual void EndParallelRead() {}
+
+  /// Decoded-batch side cache for the vectorized engine: a columnar
+  /// decode of page `id`, attached to the page-cache entry so it lives
+  /// and dies with the encoded bytes (same capacity, same eviction).
+  /// Callers must ReadPage(id) first — the batch never substitutes for
+  /// the page read, so I/O, crypto and cache-counter charges are
+  /// unchanged. Stores without a page cache keep the default no-op.
+  virtual std::shared_ptr<const ColumnBatch> CachedBatch(uint64_t id) {
+    (void)id;
+    return nullptr;
+  }
+  virtual void CacheBatch(uint64_t id,
+                          std::shared_ptr<const ColumnBatch> batch) {
+    (void)id;
+    (void)batch;
+  }
 };
 
 /// Plaintext pages on an untrusted block device (the non-secure baselines
@@ -109,6 +127,13 @@ class RemotePageStore : public PageStore {
     inner_->BeginParallelRead(slots);
   }
   void EndParallelRead() override { inner_->EndParallelRead(); }
+  std::shared_ptr<const ColumnBatch> CachedBatch(uint64_t id) override {
+    return inner_->CachedBatch(id);
+  }
+  void CacheBatch(uint64_t id,
+                  std::shared_ptr<const ColumnBatch> batch) override {
+    inner_->CacheBatch(id, std::move(batch));
+  }
 
  private:
   PageStore* inner_;

@@ -2,7 +2,25 @@
 
 #include <algorithm>
 
+#include "sql/column_batch.h"
+
 namespace ironsafe::sql {
+
+Result<DecodedMorsel> Table::DecodeMorselBatch(uint64_t unit,
+                                               sim::CostModel* cost) const {
+  auto batch = std::make_shared<ColumnBatch>(schema().size());
+  auto cursor = NewMorselCursor(unit, unit + 1, cost);
+  if (cursor == nullptr) {
+    return Status::InvalidArgument("table does not support morsel scans");
+  }
+  Row row;
+  while (true) {
+    ASSIGN_OR_RETURN(bool more, cursor->Next(&row));
+    if (!more) break;
+    batch->AppendRow(row);
+  }
+  return DecodedMorsel{std::move(batch), false};
+}
 
 // ------------------------------------------------------ MemoryTable ----
 
@@ -50,6 +68,16 @@ std::unique_ptr<TableCursor> MemoryTable::NewMorselCursor(
   size_t row_begin = std::min<size_t>(begin * kRowsPerMorsel, rows_.size());
   size_t row_end = std::min<size_t>(end * kRowsPerMorsel, rows_.size());
   return std::make_unique<MemoryTableCursor>(&rows_, row_begin, row_end);
+}
+
+Result<DecodedMorsel> MemoryTable::DecodeMorselBatch(
+    uint64_t unit, sim::CostModel* cost) const {
+  (void)cost;
+  size_t begin = std::min<size_t>(unit * kRowsPerMorsel, rows_.size());
+  size_t end = std::min<size_t>((unit + 1) * kRowsPerMorsel, rows_.size());
+  auto batch = std::make_shared<ColumnBatch>(schema().size());
+  for (size_t i = begin; i < end; ++i) batch->AppendRow(rows_[i]);
+  return DecodedMorsel{std::move(batch), false};
 }
 
 uint64_t MemoryTable::page_count() const {
@@ -189,6 +217,31 @@ std::unique_ptr<TableCursor> PagedTable::NewMorselCursor(
     uint64_t begin, uint64_t end, sim::CostModel* cost) const {
   return std::make_unique<PagedTableCursor>(store_, &page_ids_, &buffer_,
                                             begin, end, cost);
+}
+
+Result<DecodedMorsel> PagedTable::DecodeMorselBatch(
+    uint64_t unit, sim::CostModel* cost) const {
+  if (unit < page_ids_.size()) {
+    uint64_t id = page_ids_[unit];
+    // The page read always happens first: decoded-batch hits must leave
+    // the encoded page cache, its counters and every security charge
+    // exactly as a row-engine scan of the same unit would.
+    ASSIGN_OR_RETURN(Bytes page, store_->ReadPage(id, cost));
+    if (auto cached = store_->CachedBatch(id); cached != nullptr) {
+      return DecodedMorsel{std::move(cached), true};
+    }
+    ASSIGN_OR_RETURN(auto batch, ColumnBatch::FromPage(page, schema().size()));
+    store_->CacheBatch(id, batch);
+    return DecodedMorsel{std::move(batch), false};
+  }
+  // The trailing pseudo-page of unflushed rows is never cached: it has
+  // no page id and mutates on every Append.
+  auto batch = std::make_shared<ColumnBatch>(schema().size());
+  for (const Bytes& serialized : buffer_) {
+    ByteReader reader(serialized);
+    RETURN_IF_ERROR(batch->AppendSerialized(&reader));
+  }
+  return DecodedMorsel{std::move(batch), false};
 }
 
 Status PagedTable::Rewrite(const std::function<Result<bool>(Row*, bool*)>& fn,

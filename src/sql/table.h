@@ -11,6 +11,16 @@
 
 namespace ironsafe::sql {
 
+class ColumnBatch;
+
+/// One morsel unit decoded to columnar form. `cached` reports whether
+/// the batch came from the store's decoded-batch cache (the vectorized
+/// engine charges a cheaper decode constant for hits).
+struct DecodedMorsel {
+  std::shared_ptr<const ColumnBatch> batch;
+  bool cached = false;
+};
+
 /// Pull-based row cursor over a table.
 class TableCursor {
  public:
@@ -51,6 +61,13 @@ class Table {
     return nullptr;
   }
 
+  /// Decodes morsel unit `unit` into one column batch (the vectorized
+  /// engine's scan granule). Page I/O and security charges are identical
+  /// to cursoring the same unit; only the row-decode step changes shape.
+  /// The default implementation wraps NewMorselCursor.
+  virtual Result<DecodedMorsel> DecodeMorselBatch(uint64_t unit,
+                                                  sim::CostModel* cost) const;
+
   /// Brackets a concurrent morsel scan (forwarded to the page store so
   /// caches can defer state updates; see PageStore::BeginParallelRead).
   virtual void BeginParallelScan(int slots) { (void)slots; }
@@ -89,6 +106,8 @@ class MemoryTable : public Table {
   uint64_t morsel_units() const override;
   std::unique_ptr<TableCursor> NewMorselCursor(
       uint64_t begin, uint64_t end, sim::CostModel* cost) const override;
+  Result<DecodedMorsel> DecodeMorselBatch(uint64_t unit,
+                                          sim::CostModel* cost) const override;
   Status Rewrite(const std::function<Result<bool>(Row*, bool*)>& fn,
                  sim::CostModel* cost, uint64_t* affected) override;
 
@@ -119,6 +138,8 @@ class PagedTable : public Table {
   uint64_t morsel_units() const override { return page_count(); }
   std::unique_ptr<TableCursor> NewMorselCursor(
       uint64_t begin, uint64_t end, sim::CostModel* cost) const override;
+  Result<DecodedMorsel> DecodeMorselBatch(uint64_t unit,
+                                          sim::CostModel* cost) const override;
   void BeginParallelScan(int slots) override {
     store_->BeginParallelRead(slots);
   }

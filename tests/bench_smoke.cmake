@@ -1,0 +1,37 @@
+# Smoke test for the machine-readable perf baselines: run fig6 in
+# --quick mode with --json, then validate the emitted BENCH file with
+# baseline_check (schema fields present, and the vectorized engine
+# strictly cheaper than the row engine in simulated cycles — the
+# deterministic half of the before/after claim).
+#
+# Invoked by ctest as:
+#   cmake -DBENCH=<fig6 binary> -DCHECK=<baseline_check binary>
+#         -DOUT=<json path> -P bench_smoke.cmake
+
+foreach(var BENCH CHECK OUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "bench_smoke.cmake requires -D${var}=...")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${BENCH} 0.001 --quick --json=${OUT}
+  RESULT_VARIABLE bench_rc
+  OUTPUT_VARIABLE bench_out
+  ERROR_VARIABLE bench_err)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench failed (rc=${bench_rc}):\n${bench_out}\n${bench_err}")
+endif()
+if(NOT bench_out MATCHES "baseline written: ")
+  message(FATAL_ERROR "bench did not report writing a baseline:\n${bench_out}")
+endif()
+
+execute_process(
+  COMMAND ${CHECK} ${OUT} --require-sim-improvement
+  RESULT_VARIABLE check_rc
+  OUTPUT_VARIABLE check_out
+  ERROR_VARIABLE check_err)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "baseline_check failed (rc=${check_rc}):\n${check_out}\n${check_err}")
+endif()
+message(STATUS "bench_smoke ok: ${check_out}")

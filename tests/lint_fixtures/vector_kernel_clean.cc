@@ -1,0 +1,18 @@
+// Fixture: an unboxed vector kernel — raw payload arrays, a selection
+// vector, no boxed types anywhere. Must stay silent.
+#include <cstdint>
+#include <vector>
+
+namespace ironsafe::sql {
+
+size_t FilterGreater(const int64_t* vals, std::vector<uint32_t>* sel,
+                     int64_t cutoff) {
+  size_t out = 0;
+  for (uint32_t i : *sel) {
+    if (vals[i] > cutoff) (*sel)[out++] = i;
+  }
+  sel->resize(out);
+  return out;
+}
+
+}  // namespace ironsafe::sql

@@ -1,0 +1,17 @@
+// Fixture: a vector kernel that boxes rows. Every mention of the boxed
+// Value type inside a vector_kernels file must fire vector-kernel-boxing.
+#include <vector>
+
+#include "sql/value.h"
+
+namespace ironsafe::sql {
+
+int CountPositive(const std::vector<Value>& column) {
+  int n = 0;
+  for (const Value& v : column) {
+    if (v.AsDouble() > 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace ironsafe::sql

@@ -201,6 +201,48 @@ TEST(LintUncheckedStatus, AllowCommentSilences) {
   EXPECT_TRUE(LintSource("src/net/x.cc", code).empty());
 }
 
+TEST(LintVectorKernelBoxing, FiresOnValueInKernelFile) {
+  auto diags = LintFixtureAs("vector_kernel_violating.cc",
+                             "src/sql/vector_kernels.cc");
+  // Value appears twice: the parameter type and the loop binding.
+  ASSERT_EQ(diags.size(), 2u);
+  for (const auto& d : diags) {
+    EXPECT_EQ(d.rule, "vector-kernel-boxing");
+    EXPECT_NE(d.message.find("unboxed"), std::string::npos);
+  }
+}
+
+TEST(LintVectorKernelBoxing, SilentOnUnboxedKernel) {
+  EXPECT_TRUE(LintFixtureAs("vector_kernel_clean.cc",
+                            "src/sql/vector_kernels.cc")
+                  .empty());
+}
+
+TEST(LintVectorKernelBoxing, OnlyAppliesToKernelFiles) {
+  // The same boxed code is legal everywhere else — including the
+  // vectorized evaluator, whose job is the boxing fallback.
+  EXPECT_TRUE(LintFixtureAs("vector_kernel_violating.cc",
+                            "src/sql/vector_eval.cc")
+                  .empty());
+  EXPECT_TRUE(LintFixtureAs("vector_kernel_violating.cc",
+                            "src/sql/executor.cc")
+                  .empty());
+}
+
+TEST(LintVectorKernelBoxing, AppliesToKernelHeadersToo) {
+  auto diags = LintFixtureAs("vector_kernel_violating.cc",
+                             "src/sql/vector_kernels.h");
+  ASSERT_FALSE(diags.empty());
+  EXPECT_EQ(diags[0].rule, "vector-kernel-boxing");
+}
+
+TEST(LintVectorKernelBoxing, AllowCommentSilences) {
+  std::string code =
+      "// ironsafe-lint: allow(vector-kernel-boxing)\n"
+      "class Value;\n";
+  EXPECT_TRUE(LintSource("src/sql/vector_kernels.cc", code).empty());
+}
+
 TEST(LintHygiene, FiresOnMissingGuardAndUsingNamespaceStd) {
   auto diags =
       LintFixtureAs("hygiene_violating.h", "src/sql/hygiene_violating.h");

@@ -611,6 +611,29 @@ void CheckUncheckedStatus(Checker& c) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: vector-kernel-boxing.
+// ---------------------------------------------------------------------------
+
+/// The vectorized engine's innermost kernels (sql/vector_kernels.*) work
+/// on raw payload arrays; touching the boxed Value type there would
+/// reintroduce per-row allocation on the hottest loops.
+bool IsVectorKernelFile(std::string_view rel_path) {
+  return rel_path.find("vector_kernels") != std::string_view::npos;
+}
+
+void CheckVectorKernelBoxing(Checker& c) {
+  if (!IsVectorKernelFile(c.rel_path)) return;
+  for (const Token& t : c.lx.tokens) {
+    if (t.kind == Token::Kind::kIdent && t.text == "Value") {
+      c.Emit("vector-kernel-boxing", t.line,
+             "vector kernels must stay unboxed: 'Value' is banned in "
+             "vector_kernels files; operate on raw payload arrays and let "
+             "vector_eval.cc do any boxing");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: hygiene.
 // ---------------------------------------------------------------------------
 
@@ -728,6 +751,7 @@ std::vector<Diagnostic> LintSource(std::string_view rel_path,
   CheckDeterminismClocks(c);
   CheckDeterminismUnorderedIteration(c);
   CheckUncheckedStatus(c);
+  CheckVectorKernelBoxing(c);
   CheckHygiene(c);
   return diags;
 }
@@ -764,6 +788,7 @@ Report LintTree(const Options& opts) {
     CheckDeterminismClocks(c);
     CheckDeterminismUnorderedIteration(c);
     CheckUncheckedStatus(c);
+    CheckVectorKernelBoxing(c);
     CheckHygiene(c);
 
     std::vector<std::string>& edges = include_graph[rel];

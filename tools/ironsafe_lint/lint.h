@@ -22,6 +22,10 @@
 ///   unchecked-status  — fault-injectable modules (src/net, src/tee,
 ///                       src/securestore) must not discard the Status /
 ///                       Result of a fallible call at statement position.
+///   vector-kernel-boxing — the vectorized engine's kernel files
+///                       (sql/vector_kernels.*) must not touch the boxed
+///                       Value type; kernels operate on raw payload
+///                       arrays only.
 ///   hygiene           — headers carry include guards; no
 ///                       `using namespace std;` in headers.
 ///
@@ -31,7 +35,8 @@ namespace ironsafe::lint {
 
 struct Diagnostic {
   std::string rule;  ///< "layering", "enclave-boundary", "determinism",
-                     ///< "unchecked-status", "hygiene"
+                     ///< "unchecked-status", "vector-kernel-boxing",
+                     ///< "hygiene"
   std::string file;  ///< path relative to the tree root
   int line = 0;      ///< 1-based
   std::string message;
