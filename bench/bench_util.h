@@ -45,6 +45,8 @@ inline double ArgScaleFactor(int argc, char** argv) {
 ///                         file dependent on the worker count)
 ///   --workers=N           cap the morsel thread pool at N workers
 ///   --clients=N           concurrent client sessions (serving benches)
+///   --sessions=N          session count for the serving stress bench
+///                         (serve_scale; 0 = the bench's default sweep)
 ///   --json=<path>         write the machine-readable perf baseline
 ///                         (BENCH_*.json schema, see BaselineWriter)
 ///   --quick               truncate sweeps to a smoke-sized subset (the
@@ -56,6 +58,7 @@ struct BenchArgs {
   bool trace_detail = false;
   int workers = 0;  // 0 = hardware default
   int clients = 8;
+  int sessions = 0;  // 0 = bench default
   std::string json;  // empty = no baseline file
   bool quick = false;
 };
@@ -76,6 +79,9 @@ inline BenchArgs ParseArgs(int argc, char** argv) {
     } else if (std::strncmp(arg, "--clients=", 10) == 0) {
       args.clients = std::atoi(arg + 10);
       if (args.clients < 1) args.clients = 1;
+    } else if (std::strncmp(arg, "--sessions=", 11) == 0) {
+      args.sessions = std::atoi(arg + 11);
+      if (args.sessions < 0) args.sessions = 0;
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       args.json = arg + 7;
     } else if (std::strcmp(arg, "--quick") == 0) {

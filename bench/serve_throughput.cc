@@ -3,6 +3,7 @@
 // channels, bounded fair admission, and the policy-epoch plan cache.
 //
 //   serve_throughput [sf] [--clients=N] [--workers=N] [--trace-json=...]
+//                    [--json=<path>]
 //
 // Every number in the tables below is simulated time, so the output is
 // byte-identical for any --workers value (only the closing wall-clock
@@ -39,6 +40,7 @@ struct ClientTotals {
 int Main(int argc, char** argv) {
   BenchArgs args = ParseArgs(argc, argv);
   BenchTracer tracer(args);
+  BaselineWriter writer(args, "serve_throughput");
   const int clients = args.clients;
 
   IronSafeSystem::Options options;
@@ -212,6 +214,17 @@ int Main(int argc, char** argv) {
   if (grand.statements != stats.statements_executed) {
     std::fprintf(stderr, "lost or duplicated completions\n");
     return 1;
+  }
+  // --json: same BENCH_*.json schema as the figure benches (one row per
+  // simulated aggregate; no row-engine comparison column here).
+  double wall_ms = wall.ms();
+  writer.Add("monitor_total", grand.monitor_ns, wall_ms);
+  writer.Add("execution_total", grand.execution_ns, wall_ms);
+  writer.Add("serve_shipping", stats.total_serve_ns, wall_ms);
+  // Tiny configs can dispatch every statement instantly; baseline_check
+  // requires every recorded metric to be positive, so skip a zero.
+  if (stats.total_sched_delay_ns > 0) {
+    writer.Add("sched_delay_total", stats.total_sched_delay_ns, wall_ms);
   }
   PrintWallClock(wall, "the serving sweep");
   return 0;

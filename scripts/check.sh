@@ -53,6 +53,9 @@ echo "==> ironsafe_lint (also gated by ctest -R lint_tree)"
 ./build/tools/ironsafe_lint/ironsafe_lint --root . \
   --json build/lint_report.json
 
+echo "==> doc_link_check (also gated by ctest -R docs_links)"
+./build/tools/doc_link_check/doc_link_check --root .
+
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "==> clang-tidy (baseline .clang-tidy, compile_commands from build/)"
   clang-tidy -p build --quiet src/*/*.cc

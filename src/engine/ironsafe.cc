@@ -125,6 +125,25 @@ Result<IronSafeSystem::Authorized> IronSafeSystem::Authorize(
   return authorized;
 }
 
+Result<Bytes> IronSafeSystem::AuthorizeCached(
+    const std::string& client_key, const std::string& sql,
+    const std::vector<policy::Obligation>& obligations,
+    sim::SimNanos* monitor_ns) {
+  if (!bootstrapped_) {
+    return Status::FailedPrecondition("call Bootstrap() first");
+  }
+  // Per-execution monitor half only: obligations replay into the audit
+  // log and a fresh session key — no parse, no policy eval, no rewrite.
+  sim::CostModel cached_cost;
+  obs::SpanGuard span("authorize-cached", "engine", &cached_cost);
+  ASSIGN_OR_RETURN(Bytes session_key,
+                   monitor_->BeginCachedSession(client_key, sql, obligations,
+                                                &cached_cost));
+  span.Close();
+  if (monitor_ns != nullptr) *monitor_ns = cached_cost.elapsed_ns();
+  return session_key;
+}
+
 Result<IronSafeSystem::ExecutionResult> IronSafeSystem::ExecuteAuthorized(
     const monitor::Authorization& auth, const Bytes& session_key,
     const std::string& execution_policy, const std::string& original_sql,

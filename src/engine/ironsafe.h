@@ -4,6 +4,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "engine/csa_system.h"
 #include "monitor/monitor.h"
@@ -74,6 +75,17 @@ class IronSafeSystem {
       const std::string& execution_policy = "",
       std::optional<int64_t> insert_expiry = std::nullopt,
       std::optional<int64_t> insert_reuse = std::nullopt);
+
+  /// The per-execution half of the control path for a cached
+  /// authorization (monitor::TrustedMonitor::BeginCachedSession): replays
+  /// the obligations into the audit log and mints a fresh session key —
+  /// no parse, no policy evaluation, no rewrite. Returns the session key
+  /// to pass to ExecuteAuthorized; `monitor_ns`, if non-null, receives
+  /// the control-path cost of this half.
+  Result<Bytes> AuthorizeCached(const std::string& client_key,
+                                const std::string& sql,
+                                const std::vector<policy::Obligation>& obligations,
+                                sim::SimNanos* monitor_ns = nullptr);
 
   /// Data path + proof (Figure 2 steps 3-5) for an authorization from
   /// Authorize() or replayed from a plan cache. Re-entrant with respect

@@ -136,6 +136,31 @@ int64_t Tracer::AddDetailSpan(std::string_view name, std::string_view category,
   return spans_.back().id;
 }
 
+int64_t Tracer::AddTimelineSpan(std::string_view name,
+                                std::string_view category,
+                                sim::SimNanos sim_start_ns,
+                                sim::SimNanos sim_end_ns, int lane) {
+  int64_t wall = WallNowUs();
+  std::lock_guard<std::mutex> lock(mu_);
+  Span span;
+  span.id = static_cast<int64_t>(spans_.size());
+  span.name = std::string(name);
+  span.category = std::string(category);
+  span.detail = true;
+  span.lane = lane;
+  span.wall_start_us = wall;
+  span.wall_end_us = wall;
+  // Explicit placement: the caller owns the timeline (an event queue),
+  // so no cursor is consulted or advanced. Parentage still records the
+  // innermost open span for tree readers.
+  span.parent = open_.empty() ? -1 : open_.back().id;
+  span.depth = static_cast<int>(open_.size());
+  span.sim_start_ns = sim_start_ns;
+  span.sim_end_ns = sim_end_ns < sim_start_ns ? sim_start_ns : sim_end_ns;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
 std::vector<Span> Tracer::spans() const {
   std::lock_guard<std::mutex> lock(mu_);
   return spans_;

@@ -101,6 +101,17 @@ class Tracer {
                         sim::SimNanos sim_dur_ns, int lane,
                         int64_t wall_start_us, int64_t wall_end_us);
 
+  /// Appends a detail span at an explicit place on the simulated
+  /// timeline, independent of any cursor. This is how event-driven
+  /// components (the serving pipeline's interleaved stages) show true
+  /// overlap: each stage records its own [start, end) as computed by the
+  /// event queue, so concurrent stages of different sessions visibly
+  /// overlap in the detail lanes. Like every detail span it is excluded
+  /// from the default (deterministic) export. Returns the span id.
+  int64_t AddTimelineSpan(std::string_view name, std::string_view category,
+                          sim::SimNanos sim_start_ns, sim::SimNanos sim_end_ns,
+                          int lane);
+
   /// µs since this tracer was constructed (steady clock); safe from any
   /// thread. Use to timestamp detail spans.
   int64_t WallNowUs() const;

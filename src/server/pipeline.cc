@@ -1,0 +1,69 @@
+#include "server/pipeline.h"
+
+#include <algorithm>
+
+namespace ironsafe::server {
+
+void PipelineStage::Enter(uint64_t token) {
+  ++entered_;
+  if (busy_ < slots_) {
+    Start(token);
+  } else {
+    waiting_.push_back(token);
+  }
+}
+
+void PipelineStage::Start(uint64_t token) {
+  ++busy_;
+  sim::SimNanos start = events_->now();
+  sim::SimNanos duration = runner_(token, start);
+  events_->Post(start + duration, [this, token](sim::SimNanos now) {
+    // Free the slot and start the successor before routing this job
+    // onward, so a stage stays saturated even when `done` re-enters it.
+    --busy_;
+    if (!waiting_.empty()) {
+      uint64_t next = waiting_.front();
+      waiting_.pop_front();
+      Start(next);
+    }
+    done_(token, now);
+  });
+}
+
+StreamPlan PlanStream(size_t frame_bytes, const StreamOptions& options,
+                      const sim::HardwareProfile& profile,
+                      sim::SimNanos extra_stall_ns) {
+  StreamPlan plan;
+  size_t chunk = std::max<size_t>(1, options.chunk_bytes);
+  size_t chunks = frame_bytes == 0 ? 1 : (frame_bytes + chunk - 1) / chunk;
+  plan.chunks = chunks;
+  plan.delivery_ns.reserve(chunks);
+
+  sim::CostModel link(profile);
+  std::vector<sim::SimNanos> credit_back;  // return time of chunk i's credit
+  credit_back.reserve(chunks);
+  sim::SimNanos link_free = 0;
+  for (size_t i = 0; i < chunks; ++i) {
+    size_t bytes = i + 1 == chunks ? frame_bytes - i * chunk : chunk;
+    if (frame_bytes == 0) bytes = 0;
+    sim::SimNanos before = link.elapsed_ns();
+    link.ChargeNetwork(bytes);
+    sim::SimNanos transfer = link.elapsed_ns() - before;
+
+    sim::SimNanos start = link_free;
+    if (options.credits > 0 && i >= options.credits) {
+      sim::SimNanos credit = credit_back[i - options.credits];
+      if (credit > start) {
+        plan.stall_ns += credit - start;
+        start = credit;
+      }
+    }
+    sim::SimNanos delivered = start + transfer;
+    link_free = delivered;
+    credit_back.push_back(delivered + options.credit_rtt_ns + extra_stall_ns);
+    plan.delivery_ns.push_back(delivered);
+  }
+  return plan;
+}
+
+}  // namespace ironsafe::server

@@ -29,9 +29,9 @@ void PlanCache::RollEpoch(uint64_t epoch) {
   epoch_ = epoch;
 }
 
-const CachedPlan* PlanCache::Lookup(const std::string& client_key,
-                                    const std::string& execution_policy,
-                                    const std::string& sql, uint64_t epoch) {
+std::shared_ptr<const CachedPlan> PlanCache::Lookup(
+    const std::string& client_key, const std::string& execution_policy,
+    const std::string& sql, uint64_t epoch) {
   RollEpoch(epoch);
   auto it = entries_.find(Key(client_key, execution_policy, sql));
   if (it == entries_.end()) {
@@ -41,17 +41,17 @@ const CachedPlan* PlanCache::Lookup(const std::string& client_key,
   }
   ++hits_;
   IRONSAFE_COUNTER_ADD("server.plan_cache.hit", 1);
-  return &it->second;
+  return it->second;
 }
 
-const CachedPlan* PlanCache::Insert(const std::string& client_key,
-                                    const std::string& execution_policy,
-                                    const std::string& sql, uint64_t epoch,
-                                    CachedPlan plan) {
+std::shared_ptr<const CachedPlan> PlanCache::Insert(
+    const std::string& client_key, const std::string& execution_policy,
+    const std::string& sql, uint64_t epoch, CachedPlan plan) {
   RollEpoch(epoch);
   if (capacity_ == 0) return nullptr;
   std::string key = Key(client_key, execution_policy, sql);
-  auto [it, inserted] = entries_.insert_or_assign(key, std::move(plan));
+  auto entry = std::make_shared<const CachedPlan>(std::move(plan));
+  auto [it, inserted] = entries_.insert_or_assign(key, entry);
   if (inserted) {
     insertion_order_.push_back(key);
     while (entries_.size() > capacity_) {
@@ -60,10 +60,11 @@ const CachedPlan* PlanCache::Insert(const std::string& client_key,
       IRONSAFE_COUNTER_ADD("server.plan_cache.evicted", 1);
     }
   }
-  // The evictee above can never be `key` itself: a fresh insert beyond
+  // The evictee above can never be `entry` itself (a fresh insert beyond
   // capacity evicts the front of the order queue, and `key` is at the
-  // back. A pointer into the node-based map stays valid either way.
-  return &it->second;
+  // back), and a statement already holding the shared entry keeps it
+  // alive across any eviction regardless.
+  return entry;
 }
 
 }  // namespace ironsafe::server

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "engine/ironsafe.h"
@@ -35,20 +36,24 @@ class PlanCache {
  public:
   explicit PlanCache(size_t capacity) : capacity_(capacity) {}
 
-  /// Returns the cached plan or null. The pointer stays valid until the
-  /// next Insert or epoch change. A call with a newer `epoch` than the
-  /// cache has seen invalidates everything first.
-  const CachedPlan* Lookup(const std::string& client_key,
-                           const std::string& execution_policy,
-                           const std::string& sql, uint64_t epoch);
+  /// Returns the cached plan or null. Entries are shared: the returned
+  /// handle stays usable even if an Insert eviction or an epoch roll
+  /// removes the entry while a pipelined statement still holds it —
+  /// essential now that a plan is looked up in the authorize stage and
+  /// consumed events later in the execute stage. A call with a newer
+  /// `epoch` than the cache has seen invalidates everything first.
+  std::shared_ptr<const CachedPlan> Lookup(const std::string& client_key,
+                                           const std::string& execution_policy,
+                                           const std::string& sql,
+                                           uint64_t epoch);
 
   /// Stores a plan under the same key tuple; evicts the oldest entry
   /// beyond `capacity` (insertion order). Inserting under a newer epoch
   /// invalidates older entries first, like Lookup.
-  const CachedPlan* Insert(const std::string& client_key,
-                           const std::string& execution_policy,
-                           const std::string& sql, uint64_t epoch,
-                           CachedPlan plan);
+  std::shared_ptr<const CachedPlan> Insert(const std::string& client_key,
+                                           const std::string& execution_policy,
+                                           const std::string& sql,
+                                           uint64_t epoch, CachedPlan plan);
 
   size_t size() const { return entries_.size(); }
   size_t capacity() const { return capacity_; }
@@ -64,7 +69,7 @@ class PlanCache {
 
   size_t capacity_;
   uint64_t epoch_ = 0;
-  std::map<std::string, CachedPlan> entries_;
+  std::map<std::string, std::shared_ptr<const CachedPlan>> entries_;
   std::deque<std::string> insertion_order_;  // front = oldest
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;

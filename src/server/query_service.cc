@@ -1,5 +1,6 @@
 #include "server/query_service.h"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -95,19 +96,56 @@ QueryService::QueryService(engine::IronSafeSystem* system,
       options_(options),
       handshake_drbg_(SeedBytes(options.handshake_seed)),
       scheduler_(options.limits),
-      plan_cache_(options.plan_cache_capacity) {}
+      plan_cache_(options.plan_cache_capacity),
+      decode_("decode", 1, &events_),
+      authorize_("authorize", 1, &events_),
+      execute_("execute", options.execute_slots, &events_),
+      encode_("encode", 1, &events_),
+      pipeline_window_(std::max<size_t>(2, 2 * options.execute_slots)) {
+  decode_.set_runner(
+      [this](uint64_t token, sim::SimNanos start) {
+        return RunDecode(token, start);
+      });
+  decode_.set_done(
+      [this](uint64_t token, sim::SimNanos end) { DecodeDone(token, end); });
+  authorize_.set_runner(
+      [this](uint64_t token, sim::SimNanos start) {
+        return RunAuthorize(token, start);
+      });
+  authorize_.set_done(
+      [this](uint64_t token, sim::SimNanos end) { AuthorizeDone(token, end); });
+  execute_.set_runner(
+      [this](uint64_t token, sim::SimNanos start) {
+        return RunExecute(token, start);
+      });
+  execute_.set_done(
+      [this](uint64_t token, sim::SimNanos end) { ExecuteDone(token, end); });
+  encode_.set_runner(
+      [this](uint64_t token, sim::SimNanos start) {
+        return RunEncode(token, start);
+      });
+  encode_.set_done(
+      [this](uint64_t token, sim::SimNanos end) { EncodeDone(token, end); });
+}
 
 Result<QueryService::ClientSession> QueryService::OpenSession(
-    const std::string& client_key_id) {
+    const std::string& client_key_id, uint32_t weight) {
   std::lock_guard<std::mutex> lock(mu_);
   if (draining_) {
     return Status::Unavailable("service is draining; no new sessions");
   }
+  if (weight == 0) {
+    return Status::InvalidArgument(
+        "session weight 0 would starve the tenant; weights must be >= 1");
+  }
   // Session identity maps onto the monitor's client registry: a key the
-  // data producer never registered cannot even open a channel.
+  // data producer never registered cannot even open a channel. The
+  // registry check and key mint enter the monitor enclave — one
+  // transition per session on this path (see OpenSessionBatch).
   if (!system_->monitor()->ClientRegistered(client_key_id)) {
     return Status::Unauthenticated("unknown client key: " + client_key_id);
   }
+  serve_cost_.ChargeEnclaveTransition();
   net::Handshake client_side(&handshake_drbg_);
   net::Handshake service_side(&handshake_drbg_);
   ASSIGN_OR_RETURN(net::Handshake::Hello client_hello, client_side.Start());
@@ -123,12 +161,94 @@ Result<QueryService::ClientSession> QueryService::OpenSession(
   session.channel = std::move(service_channel);
   session.lane = next_lane_++;
   sessions_.emplace(id, std::move(session));
+  if (weight != 1) (void)scheduler_.SetSessionWeight(id, weight);
   ++stats_.sessions_opened;
   IRONSAFE_COUNTER_ADD("server.sessions.opened", 1);
   obs::GetGauge("server.sessions.active")
       .Set(static_cast<int64_t>(stats_.sessions_opened -
                                 stats_.sessions_closed));
   return ClientSession{id, std::move(client_channel)};
+}
+
+std::vector<Result<QueryService::ClientSession>> QueryService::OpenSessionBatch(
+    const std::vector<SessionSpec>& specs) {
+  std::vector<Result<ClientSession>> out;
+  out.reserve(specs.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  if (draining_) {
+    for (size_t i = 0; i < specs.size(); ++i) {
+      out.push_back(
+          Status::Unavailable("service is draining; no new sessions"));
+    }
+    return out;
+  }
+  // One enclave round trip authenticates the whole cohort: the monitor
+  // checks the registry and mints a session key for every spec inside a
+  // single transition, and the channel pair derives from the minted key
+  // (net::Handshake::FromSessionKey) instead of a public-key handshake.
+  // This amortizes the per-session costs that dominate open at 10k+
+  // sessions.
+  serve_cost_.ChargeEnclaveTransition();
+  ++stats_.batch_opens;
+  IRONSAFE_COUNTER_ADD("server.sessions.batch_opens", 1);
+  for (const SessionSpec& spec : specs) {
+    if (spec.weight == 0) {
+      out.push_back(Status::InvalidArgument(
+          "session weight 0 would starve the tenant; weights must be >= 1"));
+      continue;
+    }
+    if (!system_->monitor()->ClientRegistered(spec.client_key_id)) {
+      out.push_back(
+          Status::Unauthenticated("unknown client key: " + spec.client_key_id));
+      continue;
+    }
+    Bytes session_key = handshake_drbg_.Generate(32);
+    auto channels = net::Handshake::FromSessionKey(session_key);
+    if (!channels.ok()) {
+      out.push_back(channels.status());
+      continue;
+    }
+    uint64_t id = next_session_id_++;
+    Session session;
+    session.client_key = spec.client_key_id;
+    session.channel = std::move(channels->second);
+    session.lane = next_lane_++;
+    sessions_.emplace(id, std::move(session));
+    if (spec.weight != 1) (void)scheduler_.SetSessionWeight(id, spec.weight);
+    ++stats_.sessions_opened;
+    IRONSAFE_COUNTER_ADD("server.sessions.opened", 1);
+    out.push_back(ClientSession{id, std::move(channels->first)});
+  }
+  obs::GetGauge("server.sessions.active")
+      .Set(static_cast<int64_t>(stats_.sessions_opened -
+                                stats_.sessions_closed));
+  return out;
+}
+
+void QueryService::CloseSessionLocked(Session& session, uint64_t session_id,
+                                      std::string_view reason) {
+  session.closed = true;
+  session.channel->Close();
+  for (QueuedStatement& evicted : scheduler_.EvictSession(session_id)) {
+    sim::SimNanos waited =
+        sim_now_ >= evicted.arrival_ns ? sim_now_ - evicted.arrival_ns : 0;
+    session.encode_skipped.insert(evicted.seq);
+    StageCompletionLocked(
+        session, Completion{evicted.seq,
+                            Status::Unavailable(std::string(reason)),
+                            {},
+                            waited,
+                            waited,
+                            0,
+                            0});
+    ++stats_.statements_aborted;
+    IRONSAFE_COUNTER_ADD("server.statements.aborted", 1);
+  }
+  ++stats_.sessions_closed;
+  IRONSAFE_COUNTER_ADD("server.sessions.closed", 1);
+  obs::GetGauge("server.sessions.active")
+      .Set(static_cast<int64_t>(stats_.sessions_opened -
+                                stats_.sessions_closed));
 }
 
 Status QueryService::CloseSession(uint64_t session_id) {
@@ -141,20 +261,17 @@ Status QueryService::CloseSession(uint64_t session_id) {
   if (it == sessions_.end() || it->second.closed) {
     return Status::NotFound("unknown session: " + std::to_string(session_id));
   }
-  it->second.closed = true;
-  it->second.channel->Close();
-  for (QueuedStatement& item : scheduler_.EvictSession(session_id)) {
-    it->second.completions.push_back(Completion{
-        item.seq, Status::Unavailable("session closed before dispatch"), {}});
-    ++stats_.statements_aborted;
-    IRONSAFE_COUNTER_ADD("server.statements.aborted", 1);
-  }
-  ++stats_.sessions_closed;
-  IRONSAFE_COUNTER_ADD("server.sessions.closed", 1);
-  obs::GetGauge("server.sessions.active")
-      .Set(static_cast<int64_t>(stats_.sessions_opened -
-                                stats_.sessions_closed));
+  CloseSessionLocked(it->second, session_id, "session closed before dispatch");
   return Status::OK();
+}
+
+Status QueryService::SetSessionWeight(uint64_t session_id, uint32_t weight) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end() || it->second.closed) {
+    return Status::NotFound("unknown session: " + std::to_string(session_id));
+  }
+  return scheduler_.SetSessionWeight(session_id, weight);
 }
 
 Result<uint64_t> QueryService::Submit(uint64_t session_id,
@@ -171,6 +288,7 @@ Result<uint64_t> QueryService::Submit(uint64_t session_id,
   item.session_id = session_id;
   item.seq = it->second.next_seq;
   item.request_frame = request_frame;
+  item.arrival_ns = sim_now_;
   Status admitted = scheduler_.Admit(std::move(item));
   if (!admitted.ok()) {
     ++stats_.statements_rejected;
@@ -188,6 +306,444 @@ Result<uint64_t> QueryService::Submit(uint64_t session_id,
 
 size_t QueryService::RunUntilIdle() {
   std::lock_guard<std::mutex> dispatch_lock(dispatch_mu_);
+  return options_.mode == ExecutionMode::kPipelined ? RunPipelined()
+                                                    : RunSynchronous();
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined mode
+// ---------------------------------------------------------------------------
+
+size_t QueryService::RunPipelined() {
+  size_t popped = 0;
+  for (;;) {
+    // Lazy intake: pop the weighted-fair scheduler only when the decode
+    // stage can accept work and the in-flight window has room, so the
+    // schedule — not the pipeline — decides order beyond a small
+    // pipelining horizon (and the session-drop fault still sees exactly
+    // the statements that reached intake).
+    std::optional<QueuedStatement> item;
+    if (decode_.idle() && inflight_.size() < pipeline_window_) {
+      std::lock_guard<std::mutex> lock(mu_);
+      item = scheduler_.Next();
+    }
+    if (item.has_value()) {
+      ++popped;
+      IntakeStatement(std::move(*item));
+      continue;
+    }
+    if (!events_.pending()) break;
+    events_.RunNext();
+    std::lock_guard<std::mutex> lock(mu_);
+    sim_now_ = events_.now();
+  }
+  return popped;
+}
+
+void QueryService::IntakeStatement(QueuedStatement item) {
+  std::optional<uint64_t> token;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sim::SimNanos now = events_.now();
+    sim::SimNanos sched_delay =
+        now >= item.arrival_ns ? now - item.arrival_ns : 0;
+    stats_.total_sched_delay_ns += sched_delay;
+    auto it = sessions_.find(item.session_id);
+    if (it == sessions_.end() || it->second.closed) {
+      // Session vanished between admission and dispatch.
+      if (it != sessions_.end()) {
+        it->second.encode_skipped.insert(item.seq);
+        StageCompletionLocked(
+            it->second,
+            Completion{item.seq,
+                       Status::Unavailable("session closed before dispatch"),
+                       {},
+                       sched_delay,
+                       sched_delay,
+                       0,
+                       0});
+      }
+      ++stats_.statements_aborted;
+      IRONSAFE_COUNTER_ADD("server.statements.aborted", 1);
+      return;
+    }
+    Session& session = it->second;
+    // Injected session drop at dispatch: the tenant disappears while its
+    // statement is queued. The victim statement and everything else the
+    // session had queued complete with kUnavailable (nothing executed),
+    // the channel keys are zeroized, and the client recovers by opening
+    // a fresh session and resubmitting.
+    if (sim::FaultAt(sim::fault_site::kServerSessionDrop)) {
+      IRONSAFE_COUNTER_ADD("server.sessions.injected_drops", 1);
+      session.encode_skipped.insert(item.seq);
+      StageCompletionLocked(
+          session, Completion{item.seq,
+                              Status::Unavailable("injected: session dropped"),
+                              {},
+                              sched_delay,
+                              sched_delay,
+                              0,
+                              0});
+      ++stats_.statements_aborted;
+      IRONSAFE_COUNTER_ADD("server.statements.aborted", 1);
+      CloseSessionLocked(session, item.session_id,
+                         "injected: session dropped");
+      return;
+    }
+    uint64_t tok = next_token_++;
+    Inflight state;
+    state.session_id = item.session_id;
+    state.seq = item.seq;
+    state.request_frame = std::move(item.request_frame);
+    state.arrival_ns = item.arrival_ns;
+    state.sched_delay_ns = sched_delay;
+    inflight_.emplace(tok, std::move(state));
+    token = tok;
+  }
+  if (token.has_value()) decode_.Enter(*token);
+}
+
+sim::SimNanos QueryService::RunDecode(uint64_t token, sim::SimNanos start) {
+  Inflight& state = inflight_.find(token)->second;
+  sim::CostModel recv_cost;
+  obs::SpanGuard span("stage-decode", "server", &recv_cost);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(state.session_id);
+    if (it == sessions_.end() || it->second.closed) {
+      state.failed = true;
+      state.transport = Status::Unavailable("session closed before dispatch");
+    } else {
+      auto plain = it->second.channel->Receive(state.request_frame, &recv_cost);
+      if (!plain.ok()) {
+        state.failed = true;
+        state.transport = plain.status();
+      } else {
+        auto decoded = DecodeStatementRequest(*plain);
+        if (!decoded.ok()) {
+          state.failed = true;
+          state.transport = decoded.status();
+        } else {
+          state.request = std::move(*decoded);
+          state.client_key = it->second.client_key;
+        }
+      }
+    }
+    serve_cost_.MergeChild(recv_cost);
+  }
+  span.Close();
+  sim::SimNanos duration = recv_cost.elapsed_ns();
+  EmitStageSpan("decode", start, start + duration, 0);
+  IRONSAFE_COUNTER_ADD("server.pipeline.decoded", 1);
+  return duration;
+}
+
+void QueryService::DecodeDone(uint64_t token, sim::SimNanos end) {
+  Inflight& state = inflight_.find(token)->second;
+  if (state.failed) {
+    ResolveAborted(token, end);
+    return;
+  }
+  authorize_.Enter(token);
+}
+
+sim::SimNanos QueryService::RunAuthorize(uint64_t token, sim::SimNanos start) {
+  Inflight& state = inflight_.find(token)->second;
+  obs::SpanGuard span("stage-authorize", "server", nullptr);
+  uint64_t epoch = system_->monitor()->policy_epoch();
+  auto plan = plan_cache_.Lookup(state.client_key,
+                                 state.request.execution_policy,
+                                 state.request.sql, epoch);
+  sim::SimNanos monitor_ns = 0;
+  if (plan != nullptr) {
+    state.response.plan_cache_hit = true;
+    auto key = system_->AuthorizeCached(state.client_key, state.request.sql,
+                                        plan->auth.obligations, &monitor_ns);
+    if (!key.ok()) {
+      state.response.status = key.status();
+    } else {
+      state.session_key = std::move(*key);
+      state.plan = std::move(plan);
+    }
+  } else {
+    auto authorized = system_->Authorize(state.client_key, state.request.sql,
+                                         state.request.execution_policy,
+                                         state.request.insert_expiry,
+                                         state.request.insert_reuse);
+    if (!authorized.ok()) {
+      state.response.status = authorized.status();
+    } else {
+      state.fresh = std::move(*authorized);
+      state.session_key = state.fresh.auth.session_key;
+      monitor_ns = state.fresh.monitor_ns;
+      if (state.fresh.auth.rewritten.kind == sql::Statement::Kind::kSelect &&
+          plan_cache_.capacity() > 0) {
+        state.plan = plan_cache_.Insert(
+            state.client_key, state.request.execution_policy,
+            state.request.sql, epoch,
+            CachedPlan{std::move(state.fresh.auth), state.fresh.monitor_ns});
+      }
+    }
+  }
+  state.monitor_ns = monitor_ns;
+  span.Close();
+  EmitStageSpan("authorize", start, start + monitor_ns, 1);
+  IRONSAFE_COUNTER_ADD("server.pipeline.authorized", 1);
+  return monitor_ns;
+}
+
+void QueryService::AuthorizeDone(uint64_t token, sim::SimNanos) {
+  Inflight& state = inflight_.find(token)->second;
+  if (!state.response.status.ok()) {
+    // Policy rejection: no data path, but the rejection still travels to
+    // the client inside the channel as a sealed error response.
+    RouteToEncode(token);
+    return;
+  }
+  execute_.Enter(token);
+}
+
+sim::SimNanos QueryService::RunExecute(uint64_t token, sim::SimNanos start) {
+  Inflight& state = inflight_.find(token)->second;
+  obs::SpanGuard span("stage-execute", "server", nullptr);
+  const monitor::Authorization& auth =
+      state.plan != nullptr ? state.plan->auth : state.fresh.auth;
+  auto result = system_->ExecuteAuthorized(auth, state.session_key,
+                                           state.request.execution_policy,
+                                           state.request.sql,
+                                           state.monitor_ns);
+  sim::SimNanos duration = 0;
+  if (!result.ok()) {
+    state.response.status = result.status();
+  } else {
+    state.response.result = std::move(result->result);
+    state.response.monitor_ns = result->monitor_ns;
+    state.response.execution_ns = result->execution_ns;
+    state.response.offloaded = result->offloaded;
+    // The stage occupies the timeline for the data path + proof only;
+    // the control-path half already ran in the authorize stage.
+    sim::SimNanos total = result->total_ns();
+    duration = total >= state.monitor_ns ? total - state.monitor_ns : total;
+  }
+  span.Close();
+  EmitStageSpan("execute", start, start + duration, 2);
+  IRONSAFE_COUNTER_ADD("server.pipeline.executed", 1);
+  return duration;
+}
+
+void QueryService::ExecuteDone(uint64_t token, sim::SimNanos) {
+  RouteToEncode(token);
+}
+
+void QueryService::RouteToEncode(uint64_t token) {
+  Inflight& state = inflight_.find(token)->second;
+  bool start_now = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Session& session = sessions_.find(state.session_id)->second;
+    // Channel frames carry per-session send sequence numbers, so Send
+    // must happen in submission order even when a later statement clears
+    // the execute stage first.
+    if (state.seq == session.next_encode_seq) {
+      start_now = true;
+    } else {
+      session.parked_encode.emplace(state.seq, token);
+    }
+  }
+  if (start_now) encode_.Enter(token);
+}
+
+sim::SimNanos QueryService::RunEncode(uint64_t token, sim::SimNanos start) {
+  Inflight& state = inflight_.find(token)->second;
+  sim::CostModel send_cost;
+  obs::SpanGuard span("stage-encode", "server", &send_cost);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Session& session = sessions_.find(state.session_id)->second;
+    auto frame = session.channel->Send(EncodeStatementResponse(state.response),
+                                       &send_cost);
+    if (!frame.ok()) {
+      state.failed = true;
+      state.transport = frame.status();
+    } else {
+      state.frame = std::move(*frame);
+    }
+    serve_cost_.MergeChild(send_cost);
+  }
+  span.Close();
+  sim::SimNanos duration = send_cost.elapsed_ns();
+  EmitStageSpan("encode", start, start + duration, 3);
+  IRONSAFE_COUNTER_ADD("server.pipeline.encoded", 1);
+  return duration;
+}
+
+void QueryService::EncodeDone(uint64_t token, sim::SimNanos end) {
+  auto node = inflight_.extract(token);
+  Inflight state = std::move(node.mapped());
+  std::optional<uint64_t> next_token;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Session& session = sessions_.find(state.session_id)->second;
+    ++session.next_encode_seq;
+    next_token = AdvanceEncodeLocked(session);
+    if (state.failed) {
+      StageCompletionLocked(
+          session, Completion{state.seq, state.transport, {},
+                              state.sched_delay_ns,
+                              end - state.arrival_ns, 0, 0});
+      ++stats_.statements_aborted;
+      IRONSAFE_COUNTER_ADD("server.statements.aborted", 1);
+    }
+  }
+  if (!state.failed) ScheduleDelivery(std::move(state), end);
+  if (next_token.has_value()) encode_.Enter(*next_token);
+}
+
+void QueryService::ScheduleDelivery(Inflight state, sim::SimNanos encode_end) {
+  StreamPlan plan = PlanStream(state.frame.size(), options_.stream,
+                               serve_cost_.profile());
+  if (plan.chunks <= 1) {
+    // Small response: the sealed frame ships whole; delivery coincides
+    // with the encode stage's end.
+    std::lock_guard<std::mutex> lock(mu_);
+    Session& session = sessions_.find(state.session_id)->second;
+    StageCompletionLocked(
+        session, Completion{state.seq, Status::OK(), std::move(state.frame),
+                            state.sched_delay_ns,
+                            encode_end - state.arrival_ns, 0, 0});
+    FinishExecutedLocked(state.response.plan_cache_hit,
+                         state.response.monitor_ns,
+                         state.response.execution_ns);
+    return;
+  }
+
+  // Chunked delivery under credit-based flow control. The schedule is
+  // computed analytically — chunk transfer times from the network link,
+  // chunk i gated on the credit of chunk i-W — and only the terminal
+  // event is posted.
+  sim::SimNanos extra_stall = 0;
+  if (auto stall = sim::FaultAt(sim::fault_site::kServerStreamStall)) {
+    // A slow client delays every credit grant; latency-only fault.
+    extra_stall = options_.stream.credit_rtt_ns * (1 + stall->param % 8);
+    IRONSAFE_COUNTER_ADD("server.stream.injected_stalls", 1);
+    plan = PlanStream(state.frame.size(), options_.stream,
+                      serve_cost_.profile(), extra_stall);
+  }
+  std::optional<sim::FaultHit> drop =
+      sim::FaultAt(sim::fault_site::kServerMidstreamDrop);
+
+  sim::SimNanos start = encode_end;
+  uint32_t chunks = static_cast<uint32_t>(plan.chunks);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Session& session = sessions_.find(state.session_id)->second;
+    // One downlink per session: streams serialize on it.
+    if (session.stream_busy_until > start) start = session.stream_busy_until;
+    session.stream_busy_until = start + plan.duration_ns();
+    stats_.stream_chunks += plan.chunks;
+    stats_.stream_stall_ns += plan.stall_ns;
+  }
+  IRONSAFE_COUNTER_ADD("server.pipeline.stream.chunks",
+                       static_cast<int64_t>(plan.chunks));
+  IRONSAFE_COUNTER_ADD("server.pipeline.stream.stall_ns",
+                       static_cast<int64_t>(plan.stall_ns));
+  EmitStageSpan("stream", start, start + plan.duration_ns(), 4);
+
+  if (drop.has_value()) {
+    // The session drops mid-delivery: the statement executed but its
+    // result never fully arrived. The completion is kUnavailable and the
+    // session closes at the failing chunk's delivery instant.
+    IRONSAFE_COUNTER_ADD("server.sessions.injected_midstream_drops", 1);
+    size_t drop_chunk = static_cast<size_t>(drop->param % plan.chunks);
+    sim::SimNanos drop_at = start + plan.delivery_ns[drop_chunk];
+    events_.Post(
+        drop_at,
+        [this, session_id = state.session_id, seq = state.seq,
+         arrival = state.arrival_ns, sched_delay = state.sched_delay_ns,
+         delivered = static_cast<uint32_t>(drop_chunk)](sim::SimNanos now) {
+          std::lock_guard<std::mutex> lock(mu_);
+          Session& session = sessions_.find(session_id)->second;
+          if (!session.closed) {
+            CloseSessionLocked(session, session_id,
+                               "injected: session dropped midstream");
+          }
+          StageCompletionLocked(
+              session,
+              Completion{seq,
+                         Status::Unavailable(
+                             "injected: session dropped midstream"),
+                         {},
+                         sched_delay,
+                         now >= arrival ? now - arrival : 0,
+                         delivered,
+                         0});
+          ++stats_.statements_aborted;
+          IRONSAFE_COUNTER_ADD("server.statements.aborted", 1);
+        });
+    return;
+  }
+
+  events_.Post(
+      start + plan.duration_ns(),
+      [this, session_id = state.session_id, seq = state.seq,
+       arrival = state.arrival_ns, sched_delay = state.sched_delay_ns,
+       stall = plan.stall_ns, chunks, frame = std::move(state.frame),
+       cache_hit = state.response.plan_cache_hit,
+       monitor_ns = state.response.monitor_ns,
+       execution_ns = state.response.execution_ns](sim::SimNanos now) mutable {
+        std::lock_guard<std::mutex> lock(mu_);
+        Session& session = sessions_.find(session_id)->second;
+        StageCompletionLocked(
+            session, Completion{seq, Status::OK(), std::move(frame),
+                                sched_delay, now >= arrival ? now - arrival : 0,
+                                chunks, stall});
+        FinishExecutedLocked(cache_hit, monitor_ns, execution_ns);
+      });
+}
+
+void QueryService::ResolveAborted(uint64_t token, sim::SimNanos end) {
+  auto node = inflight_.extract(token);
+  Inflight state = std::move(node.mapped());
+  std::optional<uint64_t> next_token;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Session& session = sessions_.find(state.session_id)->second;
+    session.encode_skipped.insert(state.seq);
+    next_token = AdvanceEncodeLocked(session);
+    StageCompletionLocked(
+        session, Completion{state.seq, state.transport, {},
+                            state.sched_delay_ns, end - state.arrival_ns, 0,
+                            0});
+    ++stats_.statements_aborted;
+    IRONSAFE_COUNTER_ADD("server.statements.aborted", 1);
+  }
+  if (next_token.has_value()) encode_.Enter(*next_token);
+}
+
+std::optional<uint64_t> QueryService::AdvanceEncodeLocked(Session& session) {
+  for (;;) {
+    auto skipped = session.encode_skipped.find(session.next_encode_seq);
+    if (skipped != session.encode_skipped.end()) {
+      session.encode_skipped.erase(skipped);
+      ++session.next_encode_seq;
+      continue;
+    }
+    auto parked = session.parked_encode.find(session.next_encode_seq);
+    if (parked != session.parked_encode.end()) {
+      uint64_t token = parked->second;
+      session.parked_encode.erase(parked);
+      return token;
+    }
+    return std::nullopt;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Synchronous mode (the pre-pipeline serving path, kept as the bench
+// baseline)
+// ---------------------------------------------------------------------------
+
+size_t QueryService::RunSynchronous() {
   size_t completed = 0;
   for (;;) {
     std::optional<QueuedStatement> item;
@@ -205,56 +761,61 @@ size_t QueryService::RunUntilIdle() {
 void QueryService::DispatchStatement(const QueuedStatement& item) {
   StatementRequest request;
   std::string client_key;
+  sim::SimNanos sched_delay = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    sched_delay =
+        sim_now_ >= item.arrival_ns ? sim_now_ - item.arrival_ns : 0;
+    stats_.total_sched_delay_ns += sched_delay;
     auto it = sessions_.find(item.session_id);
     if (it == sessions_.end() || it->second.closed) {
       // Session vanished between admission and dispatch.
       if (it != sessions_.end()) {
-        it->second.completions.push_back(Completion{
-            item.seq, Status::Unavailable("session closed before dispatch"),
-            {}});
+        StageCompletionLocked(
+            it->second,
+            Completion{item.seq,
+                       Status::Unavailable("session closed before dispatch"),
+                       {},
+                       sched_delay,
+                       sched_delay,
+                       0,
+                       0});
       }
       ++stats_.statements_aborted;
       IRONSAFE_COUNTER_ADD("server.statements.aborted", 1);
       return;
     }
     Session& session = it->second;
-    // Injected session drop at dispatch: the tenant disappears while its
-    // statement is queued. The victim statement and everything else the
-    // session had queued complete with kUnavailable (nothing executed),
-    // the channel keys are zeroized, and the client recovers by opening
-    // a fresh session and resubmitting.
     if (sim::FaultAt(sim::fault_site::kServerSessionDrop)) {
       IRONSAFE_COUNTER_ADD("server.sessions.injected_drops", 1);
-      session.closed = true;
-      session.channel->Close();
-      session.completions.push_back(Completion{
-          item.seq, Status::Unavailable("injected: session dropped"), {}});
+      StageCompletionLocked(
+          session, Completion{item.seq,
+                              Status::Unavailable("injected: session dropped"),
+                              {},
+                              sched_delay,
+                              sched_delay,
+                              0,
+                              0});
       ++stats_.statements_aborted;
-      for (QueuedStatement& evicted : scheduler_.EvictSession(item.session_id)) {
-        session.completions.push_back(Completion{
-            evicted.seq, Status::Unavailable("injected: session dropped"),
-            {}});
-        ++stats_.statements_aborted;
-      }
       IRONSAFE_COUNTER_ADD("server.statements.aborted", 1);
-      ++stats_.sessions_closed;
-      IRONSAFE_COUNTER_ADD("server.sessions.closed", 1);
+      CloseSessionLocked(session, item.session_id,
+                         "injected: session dropped");
       return;
     }
     auto plain = session.channel->Receive(item.request_frame, nullptr);
     if (!plain.ok()) {
-      session.completions.push_back(
-          Completion{item.seq, plain.status(), {}});
+      StageCompletionLocked(session, Completion{item.seq, plain.status(), {},
+                                                sched_delay, sched_delay, 0,
+                                                0});
       ++stats_.statements_aborted;
       IRONSAFE_COUNTER_ADD("server.statements.aborted", 1);
       return;
     }
     auto decoded = DecodeStatementRequest(*plain);
     if (!decoded.ok()) {
-      session.completions.push_back(
-          Completion{item.seq, decoded.status(), {}});
+      StageCompletionLocked(session, Completion{item.seq, decoded.status(), {},
+                                                sched_delay, sched_delay, 0,
+                                                0});
       ++stats_.statements_aborted;
       IRONSAFE_COUNTER_ADD("server.statements.aborted", 1);
       return;
@@ -275,24 +836,24 @@ void QueryService::DispatchStatement(const QueuedStatement& item) {
   auto frame = session.channel->Send(EncodeStatementResponse(response),
                                      &send_cost);
   if (!frame.ok()) {
-    session.completions.push_back(Completion{item.seq, frame.status(), {}});
+    StageCompletionLocked(session,
+                          Completion{item.seq, frame.status(), {}, sched_delay,
+                                     sched_delay + response.total_ns(), 0, 0});
     ++stats_.statements_aborted;
     IRONSAFE_COUNTER_ADD("server.statements.aborted", 1);
     return;
   }
   serve_cost_.MergeChild(send_cost);
-  session.completions.push_back(
-      Completion{item.seq, Status::OK(), std::move(*frame)});
-  ++stats_.statements_executed;
-  if (response.plan_cache_hit) {
-    ++stats_.plan_cache_hits;
-  } else {
-    ++stats_.plan_cache_misses;
-  }
-  stats_.total_monitor_ns += response.monitor_ns;
-  stats_.total_execution_ns += response.execution_ns;
-  stats_.total_serve_ns = serve_cost_.elapsed_ns();
-  IRONSAFE_COUNTER_ADD("server.statements.executed", 1);
+  // The pseudo-timeline of the synchronous path: each statement occupies
+  // the server for its full serial service time, which is what the
+  // pipelined mode's scheduling delays are measured against.
+  sim::SimNanos service_ns = response.total_ns() + send_cost.elapsed_ns();
+  sim_now_ += service_ns;
+  StageCompletionLocked(
+      session, Completion{item.seq, Status::OK(), std::move(*frame),
+                          sched_delay, sched_delay + service_ns, 0, 0});
+  FinishExecutedLocked(response.plan_cache_hit, response.monitor_ns,
+                       response.execution_ns);
   // Per-session trace lane: one detail span per statement, excluded from
   // the default (deterministic) export like every other detail span.
   obs::Tracer* tracer = obs::CurrentTracer();
@@ -313,7 +874,7 @@ StatementResponse QueryService::ExecuteRequest(const std::string& client_key,
   obs::SpanGuard serve_span("serve-statement", "server", nullptr);
 
   uint64_t epoch = system_->monitor()->policy_epoch();
-  const CachedPlan* plan = plan_cache_.Lookup(
+  std::shared_ptr<const CachedPlan> plan = plan_cache_.Lookup(
       client_key, request.execution_policy, request.sql, epoch);
   engine::IronSafeSystem::Authorized fresh;
   Bytes session_key;
@@ -321,19 +882,13 @@ StatementResponse QueryService::ExecuteRequest(const std::string& client_key,
 
   if (plan != nullptr) {
     response.plan_cache_hit = true;
-    // Per-execution monitor half only: obligations replay into the audit
-    // log and a fresh session key — no parse, no policy eval, no rewrite.
-    sim::CostModel cached_cost;
-    obs::SpanGuard span("authorize-cached", "server", &cached_cost);
-    auto key = system_->monitor()->BeginCachedSession(
-        client_key, request.sql, plan->auth.obligations, &cached_cost);
-    span.Close();
+    auto key = system_->AuthorizeCached(client_key, request.sql,
+                                        plan->auth.obligations, &monitor_ns);
     if (!key.ok()) {
       response.status = key.status();
       return response;
     }
     session_key = std::move(*key);
-    monitor_ns = cached_cost.elapsed_ns();
   } else {
     auto authorized = system_->Authorize(client_key, request.sql,
                                          request.execution_policy,
@@ -369,6 +924,46 @@ StatementResponse QueryService::ExecuteRequest(const std::string& client_key,
   response.execution_ns = result->execution_ns;
   response.offloaded = result->offloaded;
   return response;
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers and lifecycle
+// ---------------------------------------------------------------------------
+
+void QueryService::StageCompletionLocked(Session& session,
+                                         Completion completion) {
+  // Ordered emitter: completions become visible in submission order no
+  // matter which pipeline stage (or fault path) resolved them first.
+  session.staged.emplace(completion.seq, std::move(completion));
+  for (auto it = session.staged.begin();
+       it != session.staged.end() && it->first == session.next_emit_seq;
+       it = session.staged.begin()) {
+    session.completions.push_back(std::move(it->second));
+    session.staged.erase(it);
+    ++session.next_emit_seq;
+  }
+}
+
+void QueryService::FinishExecutedLocked(bool plan_cache_hit,
+                                        sim::SimNanos monitor_ns,
+                                        sim::SimNanos execution_ns) {
+  ++stats_.statements_executed;
+  if (plan_cache_hit) {
+    ++stats_.plan_cache_hits;
+  } else {
+    ++stats_.plan_cache_misses;
+  }
+  stats_.total_monitor_ns += monitor_ns;
+  stats_.total_execution_ns += execution_ns;
+  stats_.total_serve_ns = serve_cost_.elapsed_ns();
+  IRONSAFE_COUNTER_ADD("server.statements.executed", 1);
+}
+
+void QueryService::EmitStageSpan(std::string_view name, sim::SimNanos start,
+                                 sim::SimNanos end, int lane) {
+  obs::Tracer* tracer = obs::CurrentTracer();
+  if (tracer == nullptr) return;
+  tracer->AddTimelineSpan(name, "server.pipeline", start, end, lane);
 }
 
 std::vector<Completion> QueryService::TakeCompletions(uint64_t session_id) {

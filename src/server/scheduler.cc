@@ -21,14 +21,16 @@ Status FairScheduler::Admit(QueuedStatement item) {
         "admission queue full (" + std::to_string(limits_.max_total) +
         " statements)");
   }
-  std::deque<QueuedStatement>& q = queues_[item.session_id];
-  if (q.size() >= limits_.max_per_session) {
-    if (q.empty()) queues_.erase(item.session_id);
+  SessionQueue& q = queues_[item.session_id];
+  if (q.items.size() >= limits_.max_per_session) {
     return Status::ResourceExhausted(
         "session quota full (" + std::to_string(limits_.max_per_session) +
         " statements for session " + std::to_string(item.session_id) + ")");
   }
-  q.push_back(std::move(item));
+  uint64_t tag = std::max(virtual_time_, q.last_tag) + kTagScale / q.weight;
+  q.last_tag = tag;
+  if (q.items.empty()) ready_.insert({tag, item.session_id});
+  q.items.emplace_back(tag, std::move(item));
   ++depth_;
   peak_depth_ = std::max(peak_depth_, depth_);
   return Status::OK();
@@ -36,25 +38,53 @@ Status FairScheduler::Admit(QueuedStatement item) {
 
 std::optional<QueuedStatement> FairScheduler::Next() {
   if (depth_ == 0) return std::nullopt;
-  // First non-empty session strictly after the last served, wrapping.
-  // Empty per-session queues are erased eagerly, so every map entry is
-  // servable and the two lookups below suffice.
-  auto it = queues_.upper_bound(last_served_);
-  if (it == queues_.end()) it = queues_.begin();
-  QueuedStatement item = std::move(it->second.front());
-  it->second.pop_front();
-  last_served_ = it->first;
-  if (it->second.empty()) queues_.erase(it);
+  // Minimum head tag; among ties, the first session strictly after the
+  // last served (wrapping), which reduces WFQ to the classic round robin
+  // when every weight is equal.
+  uint64_t min_tag = ready_.begin()->first;
+  auto it = ready_.lower_bound({min_tag, last_served_ + 1});
+  if (it == ready_.end() || it->first != min_tag) it = ready_.begin();
+  uint64_t session_id = it->second;
+  ready_.erase(it);
+
+  SessionQueue& q = queues_.find(session_id)->second;
+  uint64_t tag = q.items.front().first;
+  QueuedStatement item = std::move(q.items.front().second);
+  q.items.pop_front();
+  virtual_time_ = std::max(virtual_time_, tag);
+  last_served_ = session_id;
+  if (!q.items.empty()) ready_.insert({q.items.front().first, session_id});
   --depth_;
   return item;
+}
+
+Status FairScheduler::SetSessionWeight(uint64_t session_id, uint32_t weight) {
+  if (weight == 0) {
+    return Status::InvalidArgument(
+        "scheduler weight 0 would starve session " +
+        std::to_string(session_id) + "; weights must be >= 1");
+  }
+  if (weight > kTagScale) weight = kTagScale;
+  queues_[session_id].weight = weight;
+  return Status::OK();
+}
+
+uint32_t FairScheduler::session_weight(uint64_t session_id) const {
+  auto it = queues_.find(session_id);
+  return it == queues_.end() ? 1 : it->second.weight;
 }
 
 std::vector<QueuedStatement> FairScheduler::EvictSession(uint64_t session_id) {
   std::vector<QueuedStatement> evicted;
   auto it = queues_.find(session_id);
   if (it == queues_.end()) return evicted;
-  evicted.assign(std::make_move_iterator(it->second.begin()),
-                 std::make_move_iterator(it->second.end()));
+  if (!it->second.items.empty()) {
+    ready_.erase({it->second.items.front().first, session_id});
+  }
+  evicted.reserve(it->second.items.size());
+  for (auto& [tag, item] : it->second.items) {
+    evicted.push_back(std::move(item));
+  }
   depth_ -= evicted.size();
   queues_.erase(it);
   return evicted;
@@ -62,7 +92,7 @@ std::vector<QueuedStatement> FairScheduler::EvictSession(uint64_t session_id) {
 
 size_t FairScheduler::session_depth(uint64_t session_id) const {
   auto it = queues_.find(session_id);
-  return it == queues_.end() ? 0 : it->second.size();
+  return it == queues_.end() ? 0 : it->second.items.size();
 }
 
 }  // namespace ironsafe::server

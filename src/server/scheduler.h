@@ -5,21 +5,26 @@
 #include <deque>
 #include <map>
 #include <optional>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "sim/cost_model.h"
 
 namespace ironsafe::server {
 
 /// One client statement waiting for dispatch: the sealed request frame as
 /// it arrived on the session channel (it is only opened at dispatch time,
 /// so a queued statement never exists in plaintext outside the channel
-/// endpoints).
+/// endpoints). `arrival_ns` stamps admission on the service's simulated
+/// timeline; scheduling delay is measured from it.
 struct QueuedStatement {
   uint64_t session_id = 0;
   uint64_t seq = 0;  ///< per-session submission number
   Bytes request_frame;
+  sim::SimNanos arrival_ns = 0;
 };
 
 /// Admission bounds. Both caps reject with kResourceExhausted, which
@@ -30,28 +35,57 @@ struct SchedulerLimits {
   size_t max_total = 64;       ///< bound on total queued statements
 };
 
-/// Deterministic fair scheduler: one FIFO per session, served round-robin
-/// by ascending session id. Given the same sequence of Admit/Next calls
-/// the dispatch order is a pure function of the submission schedule —
-/// never of thread timing — which is what keeps serving-layer traces and
-/// cost totals bit-identical across worker counts.
+/// Deterministic weighted-fair scheduler (WFQ with virtual finish tags).
+///
+/// Every statement gets a virtual finish tag
+///     tag = max(V, last_tag_of_its_session) + kTagScale / weight
+/// where V is the scheduler's virtual time (the largest tag ever
+/// served). Next() pops the statement with the smallest head tag;
+/// tag ties resolve round-robin style (the first tied session after the
+/// last one served, wrapping), so with all weights equal the order is
+/// exactly the classic round-robin by ascending session id.
+///
+/// Weights encode per-tenant SLO classes (e.g. gold=8, silver=4,
+/// bronze=1): a weight-w session receives w slots per kTagScale of
+/// virtual time under backlog, and no backlogged session waits more than
+/// about total_weight/weight pops between its own — the starvation
+/// bound the server tests pin down.
+///
+/// Given the same sequence of Admit/SetSessionWeight/Next calls the
+/// dispatch order is a pure function of the submission schedule — never
+/// of thread timing — which is what keeps serving-layer traces and cost
+/// totals bit-identical across worker counts.
 ///
 /// Not thread-safe; QueryService guards it with its session mutex.
 class FairScheduler {
  public:
+  /// Tag increment for a weight-1 statement. The largest accepted weight
+  /// divides this exactly, so equal-weight tag arithmetic has no
+  /// truncation artifacts.
+  static constexpr uint64_t kTagScale = 1'000'000;
+
   explicit FairScheduler(SchedulerLimits limits) : limits_(limits) {}
 
   /// Enqueues, or rejects with kResourceExhausted when the statement
   /// would exceed the per-session quota or the global bound.
   Status Admit(QueuedStatement item);
 
-  /// Pops the next statement in round-robin order (the first non-empty
-  /// session with id greater than the last one served, wrapping), or
-  /// nullopt when idle.
+  /// Pops the minimum-tag statement (ties: first tied session after the
+  /// last served, wrapping), or nullopt when idle.
   std::optional<QueuedStatement> Next();
 
+  /// Sets the session's SLO weight for statements admitted from now on
+  /// (already-queued tags keep their arrival-time weight). Weight zero
+  /// is rejected with kInvalidArgument: a zero-weight tenant would never
+  /// be served, which is starvation, not fairness.
+  Status SetSessionWeight(uint64_t session_id, uint32_t weight);
+
+  /// The session's current weight (1 unless SetSessionWeight changed it).
+  uint32_t session_weight(uint64_t session_id) const;
+
   /// Removes every queued statement of `session_id` (session close or
-  /// drop); the caller completes them with kUnavailable.
+  /// drop) along with its weight state; the caller completes them with
+  /// kUnavailable.
   std::vector<QueuedStatement> EvictSession(uint64_t session_id);
 
   size_t depth() const { return depth_; }
@@ -61,8 +95,18 @@ class FairScheduler {
   const SchedulerLimits& limits() const { return limits_; }
 
  private:
+  struct SessionQueue {
+    std::deque<std::pair<uint64_t, QueuedStatement>> items;  ///< (tag, stmt)
+    uint64_t last_tag = 0;  ///< finish tag of the session's newest item
+    uint32_t weight = 1;
+  };
+
   SchedulerLimits limits_;
-  std::map<uint64_t, std::deque<QueuedStatement>> queues_;
+  std::map<uint64_t, SessionQueue> queues_;
+  /// Head tag of every non-empty session: (tag, session id). The set's
+  /// order is the service order modulo the wrap tie-break.
+  std::set<std::pair<uint64_t, uint64_t>> ready_;
+  uint64_t virtual_time_ = 0;
   uint64_t last_served_ = 0;  ///< session id; 0 = nothing served yet
   size_t depth_ = 0;
   size_t peak_depth_ = 0;

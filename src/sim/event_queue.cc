@@ -1,0 +1,28 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace ironsafe::sim {
+
+void EventQueue::Post(SimNanos at, Handler fn) {
+  if (at < now_) at = now_;
+  events_.emplace(std::make_pair(at, next_seq_++), std::move(fn));
+}
+
+bool EventQueue::RunNext() {
+  if (events_.empty()) return false;
+  auto it = events_.begin();
+  now_ = it->first.first;
+  Handler fn = std::move(it->second);
+  events_.erase(it);
+  fn(now_);
+  return true;
+}
+
+size_t EventQueue::RunUntilIdle() {
+  size_t ran = 0;
+  while (RunNext()) ++ran;
+  return ran;
+}
+
+}  // namespace ironsafe::sim

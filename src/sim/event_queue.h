@@ -1,0 +1,65 @@
+#ifndef IRONSAFE_SIM_EVENT_QUEUE_H_
+#define IRONSAFE_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "sim/cost_model.h"
+
+namespace ironsafe::sim {
+
+/// Deterministic discrete-event spine for components that interleave
+/// work on the simulated timeline (the serving pipeline's stage events,
+/// flow-control credit grants, ...).
+///
+/// Events are ordered by (fire time, insertion sequence): two events at
+/// the same simulated instant run in the order they were posted, so the
+/// execution order is a pure function of the posting schedule — never of
+/// wall-clock timing or thread interleaving. Handlers run on the thread
+/// that calls RunNext()/RunUntilIdle() and may post further events
+/// (including at the current time, which run after everything already
+/// queued for that instant).
+///
+/// The clock never goes backwards: posting an event before now() clamps
+/// it to now(), and now() advances to each event's fire time as it pops.
+///
+/// Not thread-safe; the owner serializes access (QueryService runs the
+/// queue under its dispatch lock).
+class EventQueue {
+ public:
+  using Handler = std::function<void(SimNanos now)>;
+
+  /// Schedules `fn` at simulated time `at` (clamped to now()).
+  void Post(SimNanos at, Handler fn);
+
+  /// Schedules `fn` `delay` nanoseconds after now().
+  void PostAfter(SimNanos delay, Handler fn) { Post(now_ + delay, std::move(fn)); }
+
+  /// Pops and runs the earliest event, advancing now() to its fire time.
+  /// Returns false (and runs nothing) when the queue is empty.
+  bool RunNext();
+
+  /// Runs events until none remain; returns how many ran. Handlers that
+  /// post new events extend the run.
+  size_t RunUntilIdle();
+
+  /// The simulated clock: the fire time of the most recent event (0
+  /// before any event has run). Monotone non-decreasing.
+  SimNanos now() const { return now_; }
+
+  bool pending() const { return !events_.empty(); }
+  size_t size() const { return events_.size(); }
+
+ private:
+  // (fire time, insertion seq) -> handler. std::map iteration order is
+  // the deterministic execution order.
+  std::map<std::pair<SimNanos, uint64_t>, Handler> events_;
+  SimNanos now_ = 0;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace ironsafe::sim
+
+#endif  // IRONSAFE_SIM_EVENT_QUEUE_H_

@@ -169,6 +169,18 @@ inline constexpr std::string_view kServerSessionDrop = "server.session.drop";
 /// bounded queue were full; clients see retryable kResourceExhausted.
 inline constexpr std::string_view kServerAdmissionOverflow =
     "server.admission.overflow";
+/// Pipelined QueryService, response streaming — the session drops while
+/// its sealed response is being delivered chunk by chunk (param picks
+/// the chunk). The statement *executed* but its result never arrived, so
+/// the completion is kUnavailable and the session closes (keys
+/// zeroized); read-only statements recover by reopen + resubmit.
+inline constexpr std::string_view kServerMidstreamDrop =
+    "server.session.midstream_drop";
+/// Pipelined QueryService, response streaming — the client stalls its
+/// credit grants (param scales the extra stall), so delivery blocks on
+/// flow control. A latency fault only: the statement still completes OK
+/// and the stall time is accounted in the completion and counters.
+inline constexpr std::string_view kServerStreamStall = "server.stream.stall";
 }  // namespace fault_site
 
 }  // namespace ironsafe::sim

@@ -5,17 +5,25 @@
 # deterministic half of the before/after claim).
 #
 # Invoked by ctest as:
-#   cmake -DBENCH=<fig6 binary> -DCHECK=<baseline_check binary>
-#         -DOUT=<json path> -P bench_smoke.cmake
+#   cmake -DBENCH=<bench binary> -DCHECK=<baseline_check binary>
+#         -DOUT=<json path> [-DBENCH_ARGS="<space-separated args>"]
+#         -P bench_smoke.cmake
+#
+# BENCH_ARGS defaults to the fig6 quick invocation so the original
+# bench_smoke registration stays unchanged; serve_smoke passes its own.
 
 foreach(var BENCH CHECK OUT)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "bench_smoke.cmake requires -D${var}=...")
   endif()
 endforeach()
+if(NOT DEFINED BENCH_ARGS)
+  set(BENCH_ARGS "0.001 --quick")
+endif()
+separate_arguments(BENCH_ARGS)
 
 execute_process(
-  COMMAND ${BENCH} 0.001 --quick --json=${OUT}
+  COMMAND ${BENCH} ${BENCH_ARGS} --json=${OUT}
   RESULT_VARIABLE bench_rc
   OUTPUT_VARIABLE bench_out
   ERROR_VARIABLE bench_err)

@@ -833,6 +833,109 @@ TEST_F(ServerFaultTest, AdmissionOverflowInjectionIsRetryableBackpressure) {
   EXPECT_EQ(response->result.rows[0][0].AsString(), "user5");
 }
 
+TEST_F(ServerFaultTest, MidstreamDropLosesTheResponseAfterExecution) {
+  // The other half of the session-drop story: the statement EXECUTED,
+  // but the session died mid-delivery so the sealed response never fully
+  // arrived. The completion must say so (kUnavailable, empty frame), the
+  // session must be closed with its keys zeroized, and a fresh session
+  // must recover the answer.
+  server::ServiceOptions options;
+  options.stream.chunk_bytes = 64;  // force chunked delivery
+  service_ = std::make_unique<server::QueryService>(system_.get(), options);
+  End c0 = Open("c0");
+  Bytes frame = SealRequest(c0, "SELECT owner FROM accounts WHERE id < 5");
+  ASSERT_TRUE(service_->Submit(c0.id, frame).ok());
+
+  int64_t drops_before =
+      CounterValue("server.sessions.injected_midstream_drops");
+  int64_t closed_before = CounterValue("net.channel.closed");
+  ScopedFaultInjection guard;
+  FaultRegistry& reg = FaultRegistry::Global();
+  reg.ArmNth(site::kServerMidstreamDrop, 1);
+  service_->RunUntilIdle();
+  EXPECT_EQ(reg.fired(site::kServerMidstreamDrop), 1u);
+  EXPECT_EQ(CounterValue("server.sessions.injected_midstream_drops") -
+                drops_before,
+            1);
+  EXPECT_EQ(CounterValue("net.channel.closed") - closed_before, 1);
+
+  auto done = service_->TakeCompletions(c0.id);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_TRUE(done[0].transport.IsUnavailable()) << done[0].transport.ToString();
+  EXPECT_TRUE(done[0].response_frame.empty());
+  // Unlike the pre-dispatch drop, the engine DID run the statement; only
+  // the delivery was lost, so it still counts as aborted, never executed
+  // -and-delivered.
+  server::QueryService::Stats stats = service_->stats();
+  EXPECT_EQ(stats.statements_executed, 0u);
+  EXPECT_EQ(stats.statements_aborted, 1u);
+  // The session is gone.
+  EXPECT_TRUE(service_->Submit(c0.id, frame).status().IsNotFound());
+
+  // Read-only statement => safe to resubmit on a fresh session.
+  End again = Open("c0");
+  EXPECT_EQ(RunWithRecovery(again, 1), "user1");
+}
+
+TEST_F(ServerFaultTest, StreamStallAddsLatencyButNeverChangesTheAnswer) {
+  server::ServiceOptions options;
+  options.stream.chunk_bytes = 64;
+  // A slow client: credit grants take 1 ms round trip, well past the
+  // ~50 us per-chunk link time, so the 4-chunk window genuinely gates
+  // delivery and flow-control stall is visible even fault-free.
+  options.stream.credit_rtt_ns = 1'000'000;
+  service_ = std::make_unique<server::QueryService>(system_.get(), options);
+  End c0 = Open("c0");
+
+  // Enough rows that the sealed frame clearly overruns the 4-chunk
+  // credit window — otherwise no chunk ever waits and a slow client is
+  // invisible.
+  auto run_big = [&](size_t* rows) -> server::Completion {
+    Bytes frame = SealRequest(c0, "SELECT owner FROM accounts WHERE id < 20");
+    EXPECT_TRUE(service_->Submit(c0.id, frame).ok());
+    service_->RunUntilIdle();
+    auto done = service_->TakeCompletions(c0.id);
+    EXPECT_EQ(done.size(), 1u);
+    if (done.empty()) return {};
+    if (done[0].transport.ok()) {
+      auto plain = c0.channel->Receive(done[0].response_frame, nullptr);
+      EXPECT_TRUE(plain.ok()) << plain.status().ToString();
+      if (plain.ok()) {
+        auto response = server::DecodeStatementResponse(*plain);
+        EXPECT_TRUE(response.ok());
+        if (response.ok() && response->status.ok()) {
+          *rows = response->result.rows.size();
+        }
+      }
+    }
+    return std::move(done[0]);
+  };
+
+  size_t clean_rows = 0;
+  server::Completion clean = run_big(&clean_rows);
+  ASSERT_TRUE(clean.transport.ok());
+  ASSERT_GT(clean.stream_chunks, 4u);  // overruns the credit window
+  ASSERT_GT(clean.stream_stall_ns, 0u);
+  EXPECT_EQ(clean_rows, 20u);
+
+  int64_t stalls_before = CounterValue("server.stream.injected_stalls");
+  ScopedFaultInjection guard;
+  FaultRegistry& reg = FaultRegistry::Global();
+  reg.ArmNth(site::kServerStreamStall, 1);
+  size_t stalled_rows = 0;
+  server::Completion stalled = run_big(&stalled_rows);
+  EXPECT_EQ(reg.fired(site::kServerStreamStall), 1u);
+  EXPECT_EQ(CounterValue("server.stream.injected_stalls") - stalls_before, 1);
+
+  // Latency-only: the response still arrives intact, with the same
+  // number of chunks, but the slow client's delayed credit grants show
+  // up as extra flow-control stall.
+  ASSERT_TRUE(stalled.transport.ok()) << stalled.transport.ToString();
+  EXPECT_EQ(stalled.stream_chunks, clean.stream_chunks);
+  EXPECT_GT(stalled.stream_stall_ns, clean.stream_stall_ns);
+  EXPECT_EQ(stalled_rows, clean_rows);
+}
+
 TEST_F(ServerFaultTest, RandomServerFaultSweepAlwaysRecovers) {
   // Seed-matrixed like the storage sweep above: CI varies
   // IRONSAFE_FAULT_SEED, and for every seed the recovery protocol must
@@ -843,10 +946,18 @@ TEST_F(ServerFaultTest, RandomServerFaultSweepAlwaysRecovers) {
     seed = std::strtoull(env, nullptr, 10);
     if (seed == 0) seed = 1;
   }
+  // Small chunks make even the point lookups stream, so the midstream
+  // and stall sites are reachable alongside the pre-dispatch ones.
+  server::ServiceOptions options;
+  options.stream.chunk_bytes = 64;
+  service_ = std::make_unique<server::QueryService>(system_.get(), options);
+
   ScopedFaultInjection guard;
   FaultRegistry& reg = FaultRegistry::Global();
   reg.ArmProbability(site::kServerSessionDrop, 0.15, seed);
   reg.ArmProbability(site::kServerAdmissionOverflow, 0.15, seed + 1);
+  reg.ArmProbability(site::kServerMidstreamDrop, 0.10, seed + 2);
+  reg.ArmProbability(site::kServerStreamStall, 0.20, seed + 3);
 
   End c0 = Open("c0");
   for (int i = 0; i < 12; ++i) {

@@ -142,6 +142,81 @@ TEST(TracerTest, DetailSpanDoesNotAdvanceTheCursor) {
   EXPECT_EQ(spans[2].sim_start_ns, spans[1].sim_start_ns);
 }
 
+TEST(TracerTest, TimelineSpanSitsAtExplicitCoordinates) {
+  sim::CostModel cost;
+  Tracer tracer;
+  ScopedTracer scope(&tracer);
+  {
+    SpanGuard root("root", "test", &cost);
+    cost.ChargeFixed(1000);
+    // An event-driven component places the span itself: no cursor is
+    // consulted, so the coordinates land exactly as given (this is how
+    // overlapping pipeline stages of different sessions render).
+    tracer.AddTimelineSpan("stage-execute", "server.pipeline", 200, 450,
+                           /*lane=*/2);
+    {
+      SpanGuard child("child", "test", &cost);
+      cost.ChargeFixed(100);
+    }
+  }
+  std::vector<Span> spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  const Span& stage = spans[1];
+  EXPECT_TRUE(stage.detail);
+  EXPECT_EQ(stage.lane, 2);
+  EXPECT_EQ(stage.sim_start_ns, 200u);
+  EXPECT_EQ(stage.sim_end_ns, 450u);
+  EXPECT_EQ(stage.sim_duration_ns(), 250u);
+  EXPECT_EQ(stage.parent, spans[0].id);  // tree readers keep parentage
+  // The cursor never moved: the next real child starts at the parent's
+  // layout cursor (no completed siblings yet), not where the timeline
+  // span ended.
+  EXPECT_EQ(spans[2].sim_start_ns, 0u);
+}
+
+TEST(TracerTest, TimelineSpanClampsInvertedIntervalsAndCanBeARoot) {
+  Tracer tracer;
+  ScopedTracer scope(&tracer);
+  tracer.AddTimelineSpan("stream", "server.pipeline", 900, 100, /*lane=*/4);
+  std::vector<Span> spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].parent, -1);  // no open span: a detail root
+  EXPECT_EQ(spans[0].sim_start_ns, 900u);
+  EXPECT_EQ(spans[0].sim_end_ns, 900u);  // end clamps to start
+}
+
+TEST(ChromeExportTest, TimelineSpansAreExcludedFromTheDefaultExport) {
+  // Timeline spans are detail spans: the default (deterministic) export
+  // drops them, the opt-in detail export shows them at their explicit
+  // simulated coordinates.
+  sim::CostModel cost;
+  Tracer tracer;
+  ScopedTracer scope(&tracer);
+  {
+    SpanGuard root("root", "test", &cost);
+    cost.ChargeFixed(5000);
+    tracer.AddTimelineSpan("stage-decode", "server.pipeline", 1000, 3000,
+                           /*lane=*/0);
+  }
+  std::ostringstream plain;
+  tracer.ExportChromeTrace(plain, ExportOptions{});
+  EXPECT_EQ(plain.str().find("stage-decode"), std::string::npos);
+
+  ExportOptions opts;
+  opts.include_detail = true;
+  std::ostringstream detail;
+  tracer.ExportChromeTrace(detail, opts);
+  auto doc = JsonParse(detail.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* events = doc->Find("traceEvents");
+  ASSERT_EQ(events->array_value.size(), 2u);
+  const JsonValue& stage = events->array_value[1];
+  EXPECT_EQ(stage.Find("name")->string_value, "stage-decode");
+  EXPECT_DOUBLE_EQ(stage.Find("ts")->number_value, 1.0);   // 1000 ns
+  EXPECT_DOUBLE_EQ(stage.Find("dur")->number_value, 2.0);  // 2000 ns
+  EXPECT_TRUE(stage.Find("args")->Find("detail")->bool_value);
+}
+
 TEST(TracerTest, SpanGuardIsInertWithoutATracer) {
   ASSERT_EQ(CurrentTracer(), nullptr);
   SpanGuard guard("orphan", "test", nullptr);

@@ -116,6 +116,68 @@ TEST(FairSchedulerTest, EvictSessionReturnsItsQueueInOrder) {
   EXPECT_TRUE(sched.EvictSession(1).empty());
 }
 
+TEST(FairSchedulerTest, WeightedTenantsShareInProportionUnderBacklog) {
+  // WFQ share claim: with both sessions fully backlogged, a weight-4
+  // gold tenant is served 4x as often as a weight-1 bronze tenant.
+  FairScheduler sched(SchedulerLimits{/*max_per_session=*/32,
+                                      /*max_total=*/64});
+  ASSERT_TRUE(sched.SetSessionWeight(1, 4).ok());
+  for (uint64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(sched.Admit(Item(1, i)).ok());
+    ASSERT_TRUE(sched.Admit(Item(2, i)).ok());
+  }
+  int gold = 0;
+  for (int pop = 0; pop < 10; ++pop) {
+    auto item = sched.Next();
+    ASSERT_TRUE(item.has_value());
+    if (item->session_id == 1) ++gold;
+  }
+  EXPECT_EQ(gold, 8);  // 4:1 weights -> 8 of the first 10 pops
+}
+
+TEST(FairSchedulerTest, BackloggedBronzeIsBoundedByTheWeightRatio) {
+  // Starvation bound: a backlogged session waits at most about
+  // total_weight / weight pops between its own. With gold=8, silver=4,
+  // bronze=1 (total 13), bronze must appear within every ~13-pop window.
+  FairScheduler sched(SchedulerLimits{/*max_per_session=*/32,
+                                      /*max_total=*/96});
+  ASSERT_TRUE(sched.SetSessionWeight(1, 8).ok());
+  ASSERT_TRUE(sched.SetSessionWeight(2, 4).ok());
+  ASSERT_TRUE(sched.SetSessionWeight(3, 1).ok());
+  for (uint64_t i = 0; i < 26; ++i) {
+    ASSERT_TRUE(sched.Admit(Item(1, i)).ok());
+    ASSERT_TRUE(sched.Admit(Item(2, i)).ok());
+    if (i < 4) ASSERT_TRUE(sched.Admit(Item(3, i)).ok());
+  }
+  std::vector<int> bronze_positions;
+  std::map<uint64_t, int> pops;
+  for (int pop = 0; pop < 26; ++pop) {
+    auto item = sched.Next();
+    ASSERT_TRUE(item.has_value());
+    ++pops[item->session_id];
+    if (item->session_id == 3) bronze_positions.push_back(pop);
+  }
+  // Proportional service over two full virtual-time rounds.
+  EXPECT_EQ(pops[1], 16);
+  EXPECT_EQ(pops[2], 8);
+  EXPECT_EQ(pops[3], 2);
+  // And the gap between consecutive bronze pops respects the bound.
+  ASSERT_GE(bronze_positions.size(), 2u);
+  EXPECT_LE(bronze_positions[1] - bronze_positions[0], 14);
+}
+
+TEST(FairSchedulerTest, ZeroWeightIsRejectedAsStarvationNotFairness) {
+  FairScheduler sched(SchedulerLimits{});
+  Status zero = sched.SetSessionWeight(7, 0);
+  EXPECT_TRUE(zero.IsInvalidArgument()) << zero.ToString();
+  EXPECT_EQ(sched.session_weight(7), 1u);  // unchanged default
+  ASSERT_TRUE(sched.SetSessionWeight(7, 8).ok());
+  EXPECT_EQ(sched.session_weight(7), 8u);
+  // The rejection leaves scheduling intact: admitted work still pops.
+  ASSERT_TRUE(sched.Admit(Item(7, 0)).ok());
+  EXPECT_EQ(sched.Next()->session_id, 7u);
+}
+
 // ---------------- PlanCache ----------------
 
 CachedPlan Plan(sim::SimNanos ns) {
@@ -128,7 +190,7 @@ TEST(PlanCacheTest, MissThenHitWithinOneEpoch) {
   PlanCache cache(4);
   EXPECT_EQ(cache.Lookup("c0", "", "SELECT 1", 1), nullptr);
   cache.Insert("c0", "", "SELECT 1", 1, Plan(42));
-  const CachedPlan* hit = cache.Lookup("c0", "", "SELECT 1", 1);
+  std::shared_ptr<const CachedPlan> hit = cache.Lookup("c0", "", "SELECT 1", 1);
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(hit->authorize_ns, 42u);
   EXPECT_EQ(cache.hits(), 1u);
@@ -458,12 +520,14 @@ TEST_F(QueryServiceTest, PlanCacheHitSkipsTheMonitorControlPath) {
   EXPECT_EQ(second.result.rows[0][0].AsString(),
             first.result.rows[0][0].AsString());
 
-  // The trace shows both shapes: a full "authorize" for the miss, an
-  // "authorize-cached" wrapping the monitor's "cached-auth" for the hit.
+  // The trace shows both shapes inside the pipeline's authorize stage: a
+  // full "authorize" for the miss, an "authorize-cached" wrapping the
+  // monitor's "cached-auth" for the hit.
   std::ostringstream trace;
   tracer.ExportChromeTrace(trace, obs::ExportOptions{});
   std::string json = trace.str();
-  EXPECT_NE(json.find("serve-statement"), std::string::npos);
+  EXPECT_NE(json.find("stage-authorize"), std::string::npos);
+  EXPECT_NE(json.find("stage-execute"), std::string::npos);
   EXPECT_NE(json.find("\"authorize\""), std::string::npos);
   EXPECT_NE(json.find("authorize-cached"), std::string::npos);
   EXPECT_NE(json.find("cached-auth"), std::string::npos);
@@ -578,12 +642,269 @@ TEST_F(QueryServiceTest, CloseSessionAbortsQueuedWorkAndZeroizesKeys) {
   EXPECT_EQ(stats.sessions_closed, 1u);
 }
 
+TEST_F(QueryServiceTest, ZeroWeightSessionsAreRejectedEverywhere) {
+  QueryService service(system_.get(), ServiceOptions{});
+  auto zero = service.OpenSession("c0", /*weight=*/0);
+  EXPECT_TRUE(zero.status().IsInvalidArgument()) << zero.status().ToString();
+  EXPECT_EQ(service.stats().sessions_opened, 0u);
+  End c0 = Open(service, "c0");
+  EXPECT_TRUE(service.SetSessionWeight(c0.id, 0).IsInvalidArgument());
+  EXPECT_TRUE(service.SetSessionWeight(c0.id, 4).ok());
+  EXPECT_TRUE(service.SetSessionWeight(9999, 4).IsNotFound());
+}
+
+TEST_F(QueryServiceTest, GoldWeightOutranksBronzeUnderBacklog) {
+  QueryService service(system_.get(), ServiceOptions{});
+  auto gold_session = service.OpenSession("c0", /*weight=*/8);
+  ASSERT_TRUE(gold_session.ok());
+  End gold{gold_session->id, std::move(gold_session->channel)};
+  auto bronze_session = service.OpenSession("c1", /*weight=*/1);
+  ASSERT_TRUE(bronze_session.ok());
+  End bronze{bronze_session->id, std::move(bronze_session->channel)};
+
+  // A backlog deeper than the pipeline window, bronze submitted FIRST
+  // each round: any priority gold gets comes from its weight, never from
+  // arrival order, and the pops beyond the window carry real scheduling
+  // delay on the simulated timeline.
+  for (int i = 0; i < 8; ++i) {
+    std::string sql =
+        "SELECT owner FROM accounts WHERE id = " + std::to_string(i);
+    ASSERT_TRUE(service.Submit(bronze.id, SealRequest(bronze, sql)).ok());
+    ASSERT_TRUE(service.Submit(gold.id, SealRequest(gold, sql)).ok());
+  }
+  service.RunUntilIdle();
+
+  auto gold_done = service.TakeCompletions(gold.id);
+  auto bronze_done = service.TakeCompletions(bronze.id);
+  ASSERT_EQ(gold_done.size(), 8u);
+  ASSERT_EQ(bronze_done.size(), 8u);
+  sim::SimNanos gold_total = 0, bronze_total = 0;
+  for (Completion& c : gold_done) {
+    EXPECT_TRUE(MustDecode(gold, c).status.ok());
+    gold_total += c.sched_delay_ns;
+  }
+  for (Completion& c : bronze_done) {
+    EXPECT_TRUE(MustDecode(bronze, c).status.ok());
+    bronze_total += c.sched_delay_ns;
+  }
+  // Nearly the whole gold backlog clears inside the intake window while
+  // bronze queues behind it, so the bronze class accumulates strictly
+  // more scheduling delay — the per-SLO-class latency ordering the
+  // serve_scale bench measures at 10k sessions.
+  EXPECT_LT(gold_total, bronze_total);
+  EXPECT_GT(bronze_total, 0u);
+}
+
+TEST_F(QueryServiceTest, OpenSessionBatchMintsRealSessionsWithPerSpecFailures) {
+  QueryService service(system_.get(), ServiceOptions{});
+  int64_t batch_before = CounterValue("server.sessions.batch_opens");
+  std::vector<QueryService::SessionSpec> specs;
+  for (int c = 0; c < 4; ++c) {
+    specs.push_back({"c" + std::to_string(c), /*weight=*/c == 0 ? 8u : 1u});
+  }
+  specs.push_back({"never-registered", 1});  // unknown key
+  specs.push_back({"c5", 0});                // starving weight
+  auto out = service.OpenSessionBatch(specs);
+  ASSERT_EQ(out.size(), specs.size());
+  for (int c = 0; c < 4; ++c) {
+    ASSERT_TRUE(out[c].ok()) << out[c].status().ToString();
+  }
+  // Failures are per-spec: they do not poison the cohort.
+  EXPECT_TRUE(out[4].status().IsUnauthenticated());
+  EXPECT_TRUE(out[5].status().IsInvalidArgument());
+  EXPECT_EQ(CounterValue("server.sessions.batch_opens") - batch_before, 1);
+  QueryService::Stats stats = service.stats();
+  EXPECT_EQ(stats.batch_opens, 1u);
+  EXPECT_EQ(stats.sessions_opened, 4u);
+
+  // Batch-minted channels are full sessions: seal, execute, unseal.
+  End e{out[2]->id, std::move(out[2]->channel)};
+  ASSERT_TRUE(
+      service.Submit(e.id, SealRequest(e, "SELECT owner FROM accounts "
+                                          "WHERE id = 5")).ok());
+  service.RunUntilIdle();
+  auto done = service.TakeCompletions(e.id);
+  ASSERT_EQ(done.size(), 1u);
+  StatementResponse response = MustDecode(e, done[0]);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  ASSERT_EQ(response.result.rows.size(), 1u);
+  EXPECT_EQ(response.result.rows[0][0].AsString(), "user5");
+  // And closing a batch-minted session zeroizes like any other.
+  EXPECT_TRUE(service.CloseSession(e.id).ok());
+}
+
+TEST_F(QueryServiceTest, QuotaExhaustionMidStreamIsRetryableAndLossless) {
+  // Per-session quota hits while earlier responses are still streaming:
+  // the rejection must be plain backpressure, and the retried statement
+  // must land exactly once with the same streamed answer.
+  ServiceOptions options;
+  options.limits.max_per_session = 2;
+  options.stream.chunk_bytes = 64;  // every multi-row response streams
+  QueryService service(system_.get(), options);
+  End c0 = Open(service, "c0");
+  const std::string big =
+      "SELECT owner, balance FROM accounts WHERE balance > 100.5";
+  ASSERT_TRUE(service.Submit(c0.id, SealRequest(c0, big)).ok());
+  ASSERT_TRUE(service.Submit(c0.id, SealRequest(c0, big)).ok());
+
+  Bytes third = SealRequest(c0, big);
+  auto rejected = service.Submit(c0.id, third);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsResourceExhausted())
+      << rejected.status().ToString();
+  EXPECT_TRUE(IsBackpressure(rejected.status()));
+
+  service.RunUntilIdle();  // drains the quota (and the streams)
+  ASSERT_TRUE(service.Submit(c0.id, third).ok());
+  service.RunUntilIdle();
+
+  auto done = service.TakeCompletions(c0.id);
+  ASSERT_EQ(done.size(), 3u);
+  uint64_t chunk_total = 0;
+  for (size_t i = 0; i < done.size(); ++i) {
+    EXPECT_EQ(done[i].seq, i);
+    StatementResponse response = MustDecode(c0, done[i]);
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    EXPECT_EQ(response.result.rows.size(), 39u);  // ids 1..39
+    EXPECT_GE(done[i].stream_chunks, 2u);  // chunked delivery really ran
+    EXPECT_GE(done[i].e2e_ns, done[i].sched_delay_ns);
+    chunk_total += done[i].stream_chunks;
+  }
+  QueryService::Stats stats = service.stats();
+  EXPECT_EQ(stats.statements_rejected, 1u);
+  EXPECT_EQ(stats.statements_executed, 3u);
+  EXPECT_EQ(stats.stream_chunks, chunk_total);
+}
+
+TEST_F(QueryServiceTest, SmallResponsesShipWholeLargeOnesStream) {
+  ServiceOptions options;
+  options.stream.chunk_bytes = 256;
+  QueryService service(system_.get(), options);
+  End c0 = Open(service, "c0");
+  ASSERT_TRUE(service.Submit(c0.id, SealRequest(c0, "SELECT owner FROM "
+                                                    "accounts WHERE id = 3"))
+                  .ok());
+  ASSERT_TRUE(
+      service.Submit(c0.id, SealRequest(c0, "SELECT owner, balance FROM "
+                                            "accounts WHERE balance > 100.5"))
+          .ok());
+  service.RunUntilIdle();
+  auto done = service.TakeCompletions(c0.id);
+  ASSERT_EQ(done.size(), 2u);
+  // The point lookup fits one frame: no chunking, no stall.
+  EXPECT_EQ(done[0].stream_chunks, 0u);
+  EXPECT_EQ(done[0].stream_stall_ns, 0u);
+  EXPECT_EQ(MustDecode(c0, done[0]).result.rows.size(), 1u);
+  // The range scan exceeds the threshold: credit-window delivery, and
+  // the extra shipping time shows up in its end-to-end latency.
+  EXPECT_GE(done[1].stream_chunks, 2u);
+  EXPECT_GT(done[1].e2e_ns, done[0].e2e_ns);
+  EXPECT_EQ(MustDecode(c0, done[1]).result.rows.size(), 39u);
+}
+
+TEST_F(QueryServiceTest, EpochBumpWithStatementsInFlightStaysCoherent) {
+  // The pipelined race the shared_ptr cache entries exist for: a policy
+  // epoch bump lands while a session has statements admitted but not yet
+  // authorized. The stale plan must not be reused, and the statements
+  // must still complete correctly under the new epoch.
+  QueryService service(system_.get(), ServiceOptions{});
+  End c0 = Open(service, "c0");
+  const std::string hot = "SELECT owner FROM accounts WHERE id = 7";
+
+  // Warm the cache under the current epoch.
+  ASSERT_TRUE(service.Submit(c0.id, SealRequest(c0, hot)).ok());
+  service.RunUntilIdle();
+  auto warm = service.TakeCompletions(c0.id);
+  ASSERT_EQ(warm.size(), 1u);
+  StatementResponse baseline = MustDecode(c0, warm[0]);
+  ASSERT_TRUE(baseline.status.ok());
+  EXPECT_FALSE(baseline.plan_cache_hit);
+
+  // Two in-flight statements, then the bump before dispatch.
+  ASSERT_TRUE(service.Submit(c0.id, SealRequest(c0, hot)).ok());
+  ASSERT_TRUE(service.Submit(c0.id, SealRequest(c0, hot)).ok());
+  system_->RegisterClient("mid-flight-tenant");  // bumps the rewrite epoch
+  service.RunUntilIdle();
+
+  auto done = service.TakeCompletions(c0.id);
+  ASSERT_EQ(done.size(), 2u);
+  StatementResponse first = MustDecode(c0, done[0]);
+  StatementResponse second = MustDecode(c0, done[1]);
+  ASSERT_TRUE(first.status.ok());
+  ASSERT_TRUE(second.status.ok());
+  // The warmed plan died with its epoch; the first statement re-derives
+  // and re-warms, the second hits the new-epoch entry.
+  EXPECT_FALSE(first.plan_cache_hit);
+  EXPECT_TRUE(second.plan_cache_hit);
+  for (const StatementResponse* r : {&first, &second}) {
+    ASSERT_EQ(r->result.rows.size(), baseline.result.rows.size());
+    EXPECT_EQ(r->result.rows[0][0].AsString(),
+              baseline.result.rows[0][0].AsString());
+  }
+}
+
+TEST_F(QueryServiceTest, PipelinedAndSynchronousAgreeOnEveryResponse) {
+  // The pipeline refactor's equivalence bar: the event-driven path must
+  // produce exactly the decoded responses of the synchronous baseline for
+  // the same submission schedule (latency differs; content never).
+  auto run = [](ExecutionMode mode) {
+    std::unique_ptr<engine::IronSafeSystem> system = NewSystem();
+    EXPECT_NE(system, nullptr);
+    if (system == nullptr) return std::string{};
+    ServiceOptions options;
+    options.mode = mode;
+    QueryService service(system.get(), options);
+    End c0 = Open(service, "c0");
+    End c1 = Open(service, "c1");
+    for (int round = 0; round < 3; ++round) {
+      for (End* end : {&c0, &c1}) {
+        std::string hot = "SELECT owner, balance FROM accounts WHERE id = 11";
+        std::string probe = "SELECT owner FROM accounts WHERE balance > " +
+                            std::to_string(100 + round * 9) + ".5";
+        for (const std::string& sql : {hot, probe}) {
+          auto seq = service.Submit(end->id, SealRequest(*end, sql));
+          EXPECT_TRUE(seq.ok()) << seq.status().ToString();
+        }
+      }
+      service.RunUntilIdle();
+    }
+    service.Drain();
+    std::ostringstream fingerprint;
+    int which = 0;
+    for (End* end : {&c0, &c1}) {
+      for (Completion& done : service.TakeCompletions(end->id)) {
+        StatementResponse response = MustDecode(*end, done);
+        EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+        fingerprint << "c" << which << " seq " << done.seq << ": hit "
+                    << response.plan_cache_hit << " offloaded "
+                    << response.offloaded << " monitor "
+                    << response.monitor_ns << " exec "
+                    << response.execution_ns;
+        for (const sql::Row& row : response.result.rows) {
+          for (const sql::Value& value : row) {
+            fingerprint << " " << value.ToString();
+          }
+        }
+        fingerprint << "\n";
+      }
+      ++which;
+    }
+    service.Shutdown();
+    return fingerprint.str();
+  };
+  std::string pipelined = run(ExecutionMode::kPipelined);
+  std::string synchronous = run(ExecutionMode::kSynchronous);
+  EXPECT_FALSE(pipelined.empty());
+  EXPECT_EQ(pipelined, synchronous);
+  EXPECT_NE(pipelined.find(" hit 1"), std::string::npos);
+}
+
 TEST_F(QueryServiceTest, EightClientWorkloadIsWorkerCountInvariant) {
   // The serving determinism contract end to end: a fixed 8-client mixed
   // schedule (hot statements for cache hits, varying probes, deliberate
   // backpressure with retry) produces bit-identical decoded responses,
   // aggregate stats, and default trace whether the engine's morsels run
-  // on 1 worker or 4.
+  // on 1 worker, 4, or 16.
   auto run = [](int workers) {
     common::ThreadPool::set_max_workers(workers);
     std::unique_ptr<engine::IronSafeSystem> system = NewSystem();
@@ -659,9 +980,12 @@ TEST_F(QueryServiceTest, EightClientWorkloadIsWorkerCountInvariant) {
 
   auto one = run(1);
   auto four = run(4);
+  auto sixteen = run(16);
   common::ThreadPool::set_max_workers(0);
   EXPECT_EQ(one.first, four.first) << "stats/responses must be bit-identical";
   EXPECT_EQ(one.second, four.second) << "default trace must be byte-identical";
+  EXPECT_EQ(one.first, sixteen.first) << "16-worker run must match too";
+  EXPECT_EQ(one.second, sixteen.second);
   // The workload really exercised the interesting paths.
   EXPECT_NE(one.first.find(" hit 1"), std::string::npos);
   EXPECT_NE(one.second.find("authorize-cached"), std::string::npos);

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "sim/cost_model.h"
+#include "sim/event_queue.h"
 
 namespace ironsafe::sim {
 namespace {
@@ -129,6 +132,68 @@ TEST(CostModelTest, MergeChildEqualsChargingSerially) {
   parent.MergeChild(child_b);
 
   EXPECT_EQ(parent, serial);
+}
+
+// ---------------- event queue ----------------
+
+TEST(EventQueueTest, RunsEventsInFireTimeOrderAndAdvancesTheClock) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Post(300, [&](SimNanos now) {
+    EXPECT_EQ(now, 300u);
+    order.push_back(3);
+  });
+  q.Post(100, [&](SimNanos now) {
+    EXPECT_EQ(now, 100u);
+    order.push_back(1);
+  });
+  q.Post(200, [&](SimNanos) { order.push_back(2); });
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_TRUE(q.pending());
+  EXPECT_EQ(q.RunUntilIdle(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 300u);
+  EXPECT_FALSE(q.pending());
+}
+
+TEST(EventQueueTest, SameInstantRunsInPostOrder) {
+  // Two events at one simulated instant run in posting order — the tie
+  // break that makes pipeline stage interleavings schedule-deterministic.
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    q.Post(500, [&order, i](SimNanos) { order.push_back(i); });
+  }
+  EXPECT_EQ(q.RunUntilIdle(), 4u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueueTest, PastPostsClampToNowInsteadOfRewindingTime) {
+  EventQueue q;
+  q.Post(1000, [](SimNanos) {});
+  ASSERT_TRUE(q.RunNext());
+  ASSERT_EQ(q.now(), 1000u);
+  SimNanos fired_at = 0;
+  q.Post(10, [&](SimNanos now) { fired_at = now; });  // in the past
+  ASSERT_TRUE(q.RunNext());
+  EXPECT_EQ(fired_at, 1000u);  // clamped: the clock never goes backwards
+  EXPECT_EQ(q.now(), 1000u);
+  EXPECT_FALSE(q.RunNext());  // empty queue runs nothing
+}
+
+TEST(EventQueueTest, HandlersMayPostFurtherEventsExtendingTheRun) {
+  EventQueue q;
+  std::vector<SimNanos> fires;
+  q.Post(100, [&](SimNanos now) {
+    fires.push_back(now);
+    // Re-posting at the current instant runs after everything already
+    // queued for it; PostAfter schedules relative to now().
+    q.Post(now, [&](SimNanos at) { fires.push_back(at); });
+    q.PostAfter(50, [&](SimNanos at) { fires.push_back(at); });
+  });
+  q.Post(100, [&](SimNanos now) { fires.push_back(now); });
+  EXPECT_EQ(q.RunUntilIdle(), 4u);  // the chained events count too
+  EXPECT_EQ(fires, (std::vector<SimNanos>{100, 100, 100, 150}));
 }
 
 TEST(CostModelTest, SummaryMentionsComponents) {

@@ -1,0 +1,240 @@
+// Offline validator for the repo's Markdown cross-links, wired into
+// ctest as `docs_links` and into scripts/check.sh. It walks every
+// committed *.md (repo root and docs/), extracts inline links, and
+// verifies that
+//   - relative link targets exist on disk, and
+//   - fragment targets (`#anchor`, `file.md#anchor`) match a heading in
+//     the target document under GitHub's slug rules (lowercase,
+//     punctuation stripped, spaces to hyphens, `-N` suffixes for
+//     duplicate headings).
+//
+// External schemes (http/https/mailto) are out of scope — this gate is
+// about keeping the internal documentation graph (README, ROADMAP,
+// EXPERIMENTS, docs/ARCHITECTURE and friends) unbroken as files and
+// section titles move. Links inside fenced code blocks and inline code
+// spans are ignored, so C++ snippets like `operator[](int64_t key)`
+// never trip the parser.
+//
+//   doc_link_check --root <repo root>
+//
+// Exit code 0 when every link resolves; 1 with one line per broken link
+// otherwise.
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Link {
+  std::string file;    // markdown file containing the link
+  int line = 0;        // 1-based line number
+  std::string target;  // raw link target, e.g. "docs/SERVING.md#drain"
+};
+
+/// GitHub's heading-to-anchor slug: lowercase, keep [a-z0-9 -], drop the
+/// rest, spaces to hyphens.
+std::string Slugify(const std::string& heading) {
+  std::string slug;
+  slug.reserve(heading.size());
+  for (unsigned char c : heading) {
+    if (std::isalnum(c)) {
+      slug.push_back(static_cast<char>(std::tolower(c)));
+    } else if (c == ' ' || c == '-') {
+      slug.push_back(c == ' ' ? '-' : '-');
+    }
+    // Everything else (punctuation, backticks, slashes) is dropped.
+  }
+  return slug;
+}
+
+/// Strips inline code spans (`...`) from one line so code snippets can
+/// never look like links or headings.
+std::string StripInlineCode(const std::string& line) {
+  std::string out;
+  out.reserve(line.size());
+  bool in_code = false;
+  for (char c : line) {
+    if (c == '`') {
+      in_code = !in_code;
+      continue;
+    }
+    if (!in_code) out.push_back(c);
+  }
+  return out;
+}
+
+bool IsFenceLine(const std::string& line) {
+  size_t i = line.find_first_not_of(" \t");
+  if (i == std::string::npos) return false;
+  return line.compare(i, 3, "```") == 0 || line.compare(i, 3, "~~~") == 0;
+}
+
+/// The set of anchors a markdown document exposes, including the -1, -2
+/// suffixes GitHub appends to repeated headings.
+std::set<std::string> CollectAnchors(const fs::path& file) {
+  std::set<std::string> anchors;
+  std::map<std::string, int> seen;
+  std::ifstream in(file);
+  std::string line;
+  bool in_fence = false;
+  while (std::getline(in, line)) {
+    if (IsFenceLine(line)) {
+      in_fence = !in_fence;
+      continue;
+    }
+    if (in_fence) continue;
+    size_t hashes = 0;
+    while (hashes < line.size() && line[hashes] == '#') ++hashes;
+    if (hashes == 0 || hashes > 6) continue;
+    if (hashes >= line.size() || line[hashes] != ' ') continue;
+    // Backticks inside headings are dropped by the slug, not the text.
+    std::string heading = line.substr(hashes + 1);
+    std::string base = Slugify(heading);
+    int n = seen[base]++;
+    anchors.insert(n == 0 ? base : base + "-" + std::to_string(n));
+  }
+  return anchors;
+}
+
+/// Extracts inline `[text](target)` links from one document, skipping
+/// fenced code blocks and inline code spans.
+std::vector<Link> CollectLinks(const fs::path& file,
+                               const std::string& display_name) {
+  std::vector<Link> links;
+  std::ifstream in(file);
+  std::string raw;
+  int lineno = 0;
+  bool in_fence = false;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    if (IsFenceLine(raw)) {
+      in_fence = !in_fence;
+      continue;
+    }
+    if (in_fence) continue;
+    std::string line = StripInlineCode(raw);
+    for (size_t i = 0; i + 1 < line.size(); ++i) {
+      if (line[i] != ']' || line[i + 1] != '(') continue;
+      size_t close = line.find(')', i + 2);
+      if (close == std::string::npos) continue;
+      // Require a matching '[' earlier on the line — "](...)" without
+      // one is not a markdown link.
+      if (line.rfind('[', i) == std::string::npos) continue;
+      std::string target = line.substr(i + 2, close - i - 2);
+      // Titles: [text](path "title")
+      size_t space = target.find(' ');
+      if (space != std::string::npos) target = target.substr(0, space);
+      if (!target.empty()) links.push_back(Link{display_name, lineno, target});
+      i = close;
+    }
+  }
+  return links;
+}
+
+bool IsExternal(const std::string& target) {
+  return target.rfind("http://", 0) == 0 || target.rfind("https://", 0) == 0 ||
+         target.rfind("mailto:", 0) == 0 || target.rfind("ftp://", 0) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else {
+      std::cerr << "usage: doc_link_check --root <dir>\n";
+      return 2;
+    }
+  }
+
+  // The committed documentation set: *.md at the repo root plus docs/.
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(root)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".md") {
+      files.push_back(entry.path());
+    }
+  }
+  if (fs::is_directory(root / "docs")) {
+    for (const auto& entry : fs::directory_iterator(root / "docs")) {
+      if (entry.is_regular_file() && entry.path().extension() == ".md") {
+        files.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::map<std::string, std::set<std::string>> anchor_cache;
+  auto anchors_of = [&](const fs::path& file) -> const std::set<std::string>& {
+    std::string key = fs::weakly_canonical(file).string();
+    auto it = anchor_cache.find(key);
+    if (it == anchor_cache.end()) {
+      it = anchor_cache.emplace(key, CollectAnchors(file)).first;
+    }
+    return it->second;
+  };
+
+  int broken = 0;
+  size_t checked = 0;
+  for (const fs::path& file : files) {
+    std::string display = fs::relative(file, root).string();
+    for (const Link& link : CollectLinks(file, display)) {
+      if (IsExternal(link.target)) continue;
+      std::string path_part = link.target;
+      std::string anchor;
+      size_t hash = link.target.find('#');
+      if (hash != std::string::npos) {
+        path_part = link.target.substr(0, hash);
+        anchor = link.target.substr(hash + 1);
+      }
+      ++checked;
+
+      fs::path target_file =
+          path_part.empty() ? file : file.parent_path() / path_part;
+      if (!fs::exists(target_file)) {
+        std::cerr << display << ":" << link.line << ": broken link target '"
+                  << link.target << "' (no such file)\n";
+        ++broken;
+        continue;
+      }
+      if (!anchor.empty()) {
+        if (fs::is_directory(target_file) ||
+            target_file.extension() != ".md") {
+          std::cerr << display << ":" << link.line << ": anchor '#" << anchor
+                    << "' on a non-markdown target '" << path_part << "'\n";
+          ++broken;
+          continue;
+        }
+        const std::set<std::string>& anchors = anchors_of(target_file);
+        if (anchors.find(anchor) == anchors.end()) {
+          std::cerr << display << ":" << link.line << ": broken anchor '#"
+                    << anchor << "' in '"
+                    << (path_part.empty() ? display : path_part)
+                    << "' (no matching heading)\n";
+          ++broken;
+        }
+      }
+    }
+  }
+
+  if (broken != 0) {
+    std::cerr << "doc_link_check: " << broken << " broken link(s) across "
+              << files.size() << " file(s)\n";
+    return 1;
+  }
+  std::cout << "doc_link_check: " << checked << " internal link(s) across "
+            << files.size() << " markdown file(s), all resolved\n";
+  return 0;
+}
