@@ -5,6 +5,7 @@
 //
 //   baseline_check <baseline.json> [--require-sim-improvement]
 //                                  [--require-improvement]
+//                                  [--require-sim-overhead]
 //
 // Validates the schema. --require-sim-improvement additionally asserts
 // that, summed over the queries carrying a row-engine re-run, the
@@ -12,6 +13,11 @@
 // engine (deterministic — the bench_smoke ctest gate).
 // --require-improvement asserts the wall clock too (machine-dependent;
 // run by hand before committing a refreshed baseline).
+// --require-sim-overhead asserts the opposite inequality: the measured
+// mode spent strictly MORE simulated cycles than its row-engine
+// baseline — the gate for BENCH_oblivious.json, where the padded
+// pipeline is expected to pay for its shape-only access sequence
+// (oblivious_smoke ctest; docs/OBLIVIOUS.md).
 
 #include <cstdio>
 #include <cstring>
@@ -37,15 +43,22 @@ int Main(int argc, char** argv) {
   if (argc < 2) return Fail("usage: baseline_check <baseline.json> [flags]");
   bool require_sim = false;
   bool require_wall = false;
+  bool require_overhead = false;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--require-improvement") == 0) {
       require_sim = true;
       require_wall = true;
     } else if (std::strcmp(argv[i], "--require-sim-improvement") == 0) {
       require_sim = true;
+    } else if (std::strcmp(argv[i], "--require-sim-overhead") == 0) {
+      require_overhead = true;
     } else {
       return Fail(std::string("unknown flag: ") + argv[i]);
     }
+  }
+  if (require_sim && require_overhead) {
+    return Fail("--require-sim-improvement and --require-sim-overhead "
+                "are mutually exclusive");
   }
 
   std::ifstream in(argv[1], std::ios::binary);
@@ -112,6 +125,19 @@ int Main(int argc, char** argv) {
       return Fail("vectorized engine not cheaper in simulated cycles: " +
                   std::to_string(vec_cycles) + " vs row " +
                   std::to_string(row_cycles));
+    }
+  }
+  if (require_overhead) {
+    if (compared == 0) {
+      return Fail("overhead check: no row-engine entries to compare");
+    }
+    if (vec_cycles <= row_cycles) {
+      return Fail(
+          "measured mode not costlier in simulated cycles than its row "
+          "baseline: " +
+          std::to_string(vec_cycles) + " vs row " +
+          std::to_string(row_cycles) +
+          " (an oblivious baseline must pay for its padding)");
     }
   }
   if (require_wall && vec_wall >= row_wall) {

@@ -1,6 +1,7 @@
 #ifndef IRONSAFE_BENCH_BENCH_UTIL_H_
 #define IRONSAFE_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -187,6 +188,31 @@ class WallClock {
 inline void PrintWallClock(const WallClock& wall,
                            const char* scope = "the full sweep") {
   std::printf("wall clock: %.1f ms real for %s\n", wall.ms(), scope);
+}
+
+/// FNV-1a constants of the serving benches' response digest. The digest
+/// folds every decrypted response byte, so "bit-identical across modes /
+/// worker counts" is checkable from one printed value. The offset basis
+/// is the historical one these benches shipped with; changing it would
+/// invalidate committed transcripts.
+inline constexpr uint64_t kDigestOffset = 1469598103934665603ull;
+inline constexpr uint64_t kDigestPrime = 1099511628211ull;
+
+/// Folds a byte container (e.g. a decrypted response frame) into an
+/// FNV-1a digest. Start from kDigestOffset.
+template <typename Bytes>
+inline uint64_t DigestBytes(uint64_t digest, const Bytes& bytes) {
+  for (unsigned char b : bytes) digest = (digest ^ b) * kDigestPrime;
+  return digest;
+}
+
+/// p-th percentile by the serving benches' convention: nearest-rank on
+/// the sorted sample (sorts `v` in place), 0 for an empty sample.
+inline sim::SimNanos Percentile(std::vector<sim::SimNanos>& v, int p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  size_t idx = std::min(v.size() - 1, (v.size() * p) / 100);
+  return v[idx];
 }
 
 /// Collects per-query measurements and writes the machine-readable perf

@@ -95,7 +95,7 @@ struct Sample {
 
 struct RunResult {
   std::vector<Sample> samples;
-  uint64_t response_digest = 1469598103934665603ull;  // FNV-1a offset
+  uint64_t response_digest = kDigestOffset;  // FNV-1a, see bench_util.h
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t stream_chunks = 0;
@@ -103,13 +103,6 @@ struct RunResult {
   sim::SimNanos makespan = 0;
   double wall_ms = 0;
 };
-
-sim::SimNanos Percentile(std::vector<sim::SimNanos>& v, int p) {
-  if (v.empty()) return 0;
-  std::sort(v.begin(), v.end());
-  size_t idx = std::min(v.size() - 1, (v.size() * p) / 100);
-  return v[idx];
-}
 
 /// One full run of the schedule through a fresh system + service.
 RunResult RunMode(server::ExecutionMode mode, double sf, int sessions,
@@ -208,9 +201,7 @@ RunResult RunMode(server::ExecutionMode mode, double sf, int sessions,
       auto response = server::DecodeStatementResponse(*plain);
       if (!response.ok()) Die(response.status());
       if (!response->status.ok()) Die(response->status);
-      for (unsigned char b : *plain) {
-        out.response_digest = (out.response_digest ^ b) * 1099511628211ull;
-      }
+      out.response_digest = DigestBytes(out.response_digest, *plain);
       Sample sample;
       sample.sched_delay = done.sched_delay_ns;
       sample.e2e = done.e2e_ns;

@@ -144,9 +144,13 @@ int Main(int argc, char** argv) {
   }
   size_t drained = service.Drain();
 
-  // Decode every completion on the client side of its channel.
+  // Decode every completion on the client side of its channel, folding
+  // the response bytes into the shared FNV digest (bench_util.h) and
+  // sampling end-to-end latencies for the percentile lines below.
   std::vector<ClientTotals> totals(clients);
   ClientTotals grand;
+  uint64_t response_digest = kDigestOffset;
+  std::vector<sim::SimNanos> e2e;
   for (int c = 0; c < clients; ++c) {
     Client& client = ends[c];
     for (server::Completion& done : service.TakeCompletions(client.session)) {
@@ -156,6 +160,8 @@ int Main(int argc, char** argv) {
       auto response = server::DecodeStatementResponse(*plain);
       if (!response.ok()) Die(response.status());
       if (!response->status.ok()) Die(response->status);
+      response_digest = DigestBytes(response_digest, *plain);
+      e2e.push_back(done.e2e_ns);
       ClientTotals& t = totals[c];
       ++t.statements;
       t.rows += response->result.rows.size();
@@ -195,6 +201,12 @@ int Main(int argc, char** argv) {
               static_cast<unsigned long long>(grand.offloaded),
               static_cast<double>(grand.monitor_ns) / 1e6,
               static_cast<double>(grand.execution_ns) / 1e6);
+
+  std::printf("e2e latency: p50 %.3f ms, p99 %.3f ms (sim); "
+              "response digest %016llx\n",
+              static_cast<double>(Percentile(e2e, 50)) / 1e6,
+              static_cast<double>(Percentile(e2e, 99)) / 1e6,
+              static_cast<unsigned long long>(response_digest));
 
   QueryService::Stats stats = service.stats();
   std::printf("admission: %llu accepted, %llu backpressure rejections, "

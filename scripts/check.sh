@@ -49,6 +49,9 @@ done
 echo "==> serving-layer leg (ctest -L server)"
 ctest --test-dir build -L server --output-on-failure -j "$JOBS"
 
+echo "==> oblivious-mode leg (ctest -L oblivious)"
+ctest --test-dir build -L oblivious --output-on-failure -j "$JOBS"
+
 echo "==> ironsafe_lint (also gated by ctest -R lint_tree)"
 ./build/tools/ironsafe_lint/ironsafe_lint --root . \
   --json build/lint_report.json

@@ -261,6 +261,7 @@ sql::ExecOptions CsaSystem::StorageExecOptions() const {
   opts.parallelism = options_.storage_cores;
   opts.memory_cap_bytes = options_.storage_memory_bytes;
   opts.engine = options_.engine;
+  opts.oblivious = options_.oblivious;
   return opts;
 }
 
@@ -302,6 +303,7 @@ Status CsaSystem::ExecuteHostOnly(const std::string& sql, bool secure,
   sql::ExecOptions opts;  // host site
   opts.parallelism = options_.host_parallelism;
   opts.engine = options_.engine;
+  opts.oblivious = options_.oblivious;
   obs::SpanGuard exec_span("host-execute", "engine", &outcome->cost);
   auto result = db->Execute(sql, &outcome->cost, opts);
   exec_span.Tag("pages_read", static_cast<int64_t>(access->pages_read()));
@@ -501,6 +503,7 @@ Result<QueryOutcome> CsaSystem::RunSplit(const std::string& sql, bool secure) {
   obs::SpanGuard host_span("host-phase", "engine", &outcome.cost);
   sql::ExecOptions host_opts;  // host site
   host_opts.engine = options_.engine;
+  host_opts.oblivious = options_.oblivious;
   auto host_result =
       sql::ExecuteSelect(host_db.get(), *plan.host_query, nullptr,
                          &outcome.cost, host_opts, &outcome.stats);

@@ -53,6 +53,12 @@ struct CsaOptions {
   /// SQL execution engine for both sides (vectorized by default; the row
   /// engine remains for before/after benches and differential tests).
   sql::ExecEngine engine = sql::ExecEngine::kVectorized;
+  /// Oblivious execution (docs/OBLIVIOUS.md) on both sides: scans read
+  /// every page in order with no pushdown, filters/aggregates are
+  /// dummy-padded and sorts/joins run on merge networks, so the
+  /// page/batch access sequence depends only on data shape, never on
+  /// values. Costs rise accordingly (bench/fig_oblivious.cc).
+  bool oblivious = false;
 };
 
 /// Everything measured about one query execution.
@@ -197,6 +203,7 @@ class CsaSystem {
   }
   void set_host_parallelism(int n) { options_.host_parallelism = n; }
   void set_engine(sql::ExecEngine engine) { options_.engine = engine; }
+  void set_oblivious(bool on) { options_.oblivious = on; }
   sql::Database* plain_db() { return plain_db_.get(); }
   sql::Database* secure_db() { return secure_db_.get(); }
   tee::SgxEnclave* host_enclave() { return host_enclave_.get(); }

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/access_trace.h"
 #include "obs/trace.h"
 #include "sql/executor.h"
 #include "sql/schema.h"
@@ -36,6 +37,19 @@ constexpr uint64_t kProjectCycles = 120;
 // scheduling.
 constexpr uint64_t kMinScanUnitsPerWorker = 2;
 constexpr uint64_t kMinJoinRowsPerWorker = 512;
+
+// Per-row / per-exchange constants of the oblivious mode
+// (oblivious_executor.cc, docs/OBLIVIOUS.md). They sit above the row
+// engine's constants because every oblivious step also maintains
+// validity flags and staging copies; the real overhead, though, comes
+// from the shape-only bounds: full scans with no pushdown, padded
+// filters/aggregates and O(n log^2 n) sort networks.
+constexpr uint64_t kOblScanRowCycles = 200;
+constexpr uint64_t kOblFilterRowCycles = 90;
+constexpr uint64_t kOblSortCmpCycles = 120;
+constexpr uint64_t kOblMergeRowCycles = 150;
+constexpr uint64_t kOblAggRowCycles = 220;
+constexpr uint64_t kOblProjectRowCycles = 130;
 
 class ExecSubqueryRunner : public SubqueryRunner {
  public:
@@ -91,6 +105,15 @@ struct Ctx {
   /// runs keep the seed behavior exactly: charges stay batched until the
   /// single flush at query end.
   bool traced = false;
+  /// Non-null when access events are recorded (opts.trace on and an
+  /// obs::AccessLog installed on the session thread). Subquery
+  /// executions inherit trace=false from ExecSubqueryRunner and so are
+  /// excluded, matching the span stream.
+  obs::AccessLog* access = nullptr;
+
+  void RecordAccess(obs::AccessKind kind, uint64_t a = 0, uint64_t b = 0) {
+    if (access != nullptr) access->Record(kind, a, b);
+  }
 
   void Charge(uint64_t cycles) { pending_cycles += cycles; }
 
@@ -209,6 +232,18 @@ Result<QueryResult> ExecuteSelectVectorized(Database* db,
                                             sim::CostModel* cost,
                                             const ExecOptions& opts,
                                             ExecStats* stats);
+
+/// The oblivious mode (oblivious_executor.cc): one dummy-padded pipeline
+/// entered for either value of opts.engine — the engine only selects the
+/// scan decode path (row cursor vs batch decode), which reads the same
+/// pages and charges the same constants, so the two variants are
+/// bit-identical in rows, stats, cost and access trace.
+Result<QueryResult> ExecuteSelectOblivious(Database* db,
+                                           const SelectStmt& stmt,
+                                           const EvalScope* outer,
+                                           sim::CostModel* cost,
+                                           const ExecOptions& opts,
+                                           ExecStats* stats);
 
 }  // namespace ironsafe::sql::exec
 

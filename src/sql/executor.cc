@@ -154,6 +154,7 @@ Result<RelData> ScanRelation(Ctx* ctx, const TableRef& ref,
                              std::vector<ConjunctInfo>* conjuncts) {
   StageSpan span(ctx, "scan");
   span.Tag("table", ref.subquery ? "derived:" + ref.alias : ref.table_name);
+  ctx->RecordAccess(obs::AccessKind::kScanBegin);
   RelData rel;
   std::vector<Row> source_rows;
   Table* table = nullptr;
@@ -214,6 +215,8 @@ Result<RelData> ScanRelation(Ctx* ctx, const TableRef& ref,
     }
   }
   span.Tag("rows_out", static_cast<int64_t>(rel.rows.size()));
+  // Rows kept after pushdown: the plain engine's first selectivity leak.
+  ctx->RecordAccess(obs::AccessKind::kScanEnd, rel.rows.size());
   return rel;
 }
 
@@ -316,6 +319,8 @@ Result<RelData> JoinRelations(Ctx* ctx, RelData left, RelData right,
   StageSpan span(ctx, "join");
   span.Tag("left_rows", static_cast<int64_t>(left.rows.size()));
   span.Tag("right_rows", static_cast<int64_t>(right.rows.size()));
+  ctx->RecordAccess(obs::AccessKind::kJoinBegin, left.rows.size(),
+                    right.rows.size());
   Schema combined = Schema::Concat(left.schema, right.schema);
 
   // Gather applicable predicates: the ON clause plus WHERE conjuncts that
@@ -429,6 +434,8 @@ Result<RelData> JoinRelations(Ctx* ctx, RelData left, RelData right,
     }
   }
   span.Tag("rows_out", static_cast<int64_t>(out.rows.size()));
+  ctx->RecordAccess(obs::AccessKind::kJoinEnd, out.rows.size(),
+                    keys.empty() ? 0 : 1);
   return out;
 }
 
@@ -585,6 +592,7 @@ Result<QueryResult> ExecuteSelectRow(Database* db, const SelectStmt& stmt,
   ctx.eval = std::make_unique<Evaluator>(ctx.runner.get());
   ctx.traced =
       opts.trace && cost != nullptr && obs::CurrentTracer() != nullptr;
+  ctx.access = opts.trace ? obs::CurrentAccessLog() : nullptr;
 
   if (stmt.from.empty()) {
     // SELECT without FROM: evaluate items once against the outer scope.
@@ -602,6 +610,7 @@ Result<QueryResult> ExecuteSelectRow(Database* db, const SelectStmt& stmt,
   }
 
   StageSpan select_span(&ctx, "select");
+  ctx.RecordAccess(obs::AccessKind::kQueryBegin, 0);
 
   std::vector<ConjunctInfo> conjuncts = AnalyzeConjuncts(stmt.where.get());
 
@@ -631,6 +640,7 @@ Result<QueryResult> ExecuteSelectRow(Database* db, const SelectStmt& stmt,
       StageSpan filter_span(&ctx, "filter");
       filter_span.Tag("rows_in", static_cast<int64_t>(current.rows.size()));
       filter_span.Tag("predicates", static_cast<int64_t>(residual.size()));
+      uint64_t filter_rows_in = current.rows.size();
       std::vector<Row> kept;
       for (Row& row : current.rows) {
         EvalScope scope{&current.schema, &row, ctx.outer};
@@ -647,6 +657,8 @@ Result<QueryResult> ExecuteSelectRow(Database* db, const SelectStmt& stmt,
       }
       current.rows = std::move(kept);
       filter_span.Tag("rows_out", static_cast<int64_t>(current.rows.size()));
+      ctx.RecordAccess(obs::AccessKind::kFilter, filter_rows_in,
+                       current.rows.size());
     }
   }
 
@@ -670,9 +682,12 @@ Result<QueryResult> ExecuteSelectRow(Database* db, const SelectStmt& stmt,
     {
       StageSpan agg_span(&ctx, "aggregate");
       agg_span.Tag("rows_in", static_cast<int64_t>(current.rows.size()));
+      uint64_t agg_rows_in = current.rows.size();
       ASSIGN_OR_RETURN(current, Aggregate(&ctx, std::move(current), stmt,
                                           agg_exprs));
       agg_span.Tag("groups", static_cast<int64_t>(current.rows.size()));
+      ctx.RecordAccess(obs::AccessKind::kAggregate, agg_rows_in,
+                       current.rows.size());
     }
     for (const SelectItem& item : stmt.items) {
       items.push_back(SelectItem{RewriteToColumns(*item.expr, rewrite_names),
@@ -796,6 +811,7 @@ Result<QueryResult> ExecuteSelectRow(Database* db, const SelectStmt& stmt,
   if (!order_by.empty()) {
     StageSpan sort_span(&ctx, "sort");
     sort_span.Tag("rows", static_cast<int64_t>(result.rows.size()));
+    ctx.RecordAccess(obs::AccessKind::kSort, result.rows.size());
     struct SortKey {
       std::vector<Value> keys;
       size_t index;
@@ -844,6 +860,7 @@ Result<QueryResult> ExecuteSelectRow(Database* db, const SelectStmt& stmt,
 
   if (stats != nullptr) stats->rows_output += result.rows.size();
   select_span.Tag("rows_out", static_cast<int64_t>(result.rows.size()));
+  ctx.RecordAccess(obs::AccessKind::kResult, result.rows.size());
   ctx.FlushCharges();
   return result;
 }
@@ -853,6 +870,11 @@ Result<QueryResult> ExecuteSelectRow(Database* db, const SelectStmt& stmt,
 Result<QueryResult> ExecuteSelect(Database* db, const SelectStmt& stmt,
                                   const EvalScope* outer, sim::CostModel* cost,
                                   const ExecOptions& opts, ExecStats* stats) {
+  if (opts.oblivious) {
+    // One padded pipeline for both engine settings (the engine picks the
+    // scan decode path only; see docs/OBLIVIOUS.md).
+    return exec::ExecuteSelectOblivious(db, stmt, outer, cost, opts, stats);
+  }
   if (opts.engine == ExecEngine::kRow) {
     return exec::ExecuteSelectRow(db, stmt, outer, cost, opts, stats);
   }

@@ -44,6 +44,16 @@ struct ExecOptions {
   /// off — they re-execute per outer row and would flood the trace.
   bool trace = true;
   ExecEngine engine = ExecEngine::kVectorized;
+  /// Opt-in oblivious execution (docs/OBLIVIOUS.md): scans read every
+  /// page/batch of each base table in order with no pushdown, filters
+  /// flip validity flags instead of dropping rows, sorts run on a
+  /// bitonic merge network and joins are sort-merge over both full
+  /// inputs, so the page/batch access sequence and every cost charge
+  /// depend only on input shapes (row counts, schema, join-key
+  /// multiplicity structure) — never on filter predicates or non-key
+  /// values. Composes with `engine`: both scan decode paths feed one
+  /// padded pipeline and return bit-identical rows, stats and cost.
+  bool oblivious = false;
 };
 
 /// Statistics accumulated while executing one query.

@@ -1,0 +1,29 @@
+#include "sql/oblivious_kernels.h"
+
+namespace ironsafe::sql::exec {
+
+uint64_t MaskedCount(const std::vector<uint8_t>& valid) {
+  uint64_t n = 0;
+  for (uint8_t v : valid) n += v;
+  return n;
+}
+
+void MaskedFilterUpdate(std::vector<uint8_t>* valid,
+                        const std::vector<uint8_t>& pass) {
+  const size_t n = valid->size();
+  for (size_t i = 0; i < n; ++i) {
+    (*valid)[i] = static_cast<uint8_t>((*valid)[i] & pass[i]);
+  }
+}
+
+void MaskedLimit(std::vector<uint8_t>* valid, uint64_t limit) {
+  uint64_t seen = 0;
+  const size_t n = valid->size();
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t keep = static_cast<uint64_t>(seen < limit);
+    seen += (*valid)[i];
+    (*valid)[i] = static_cast<uint8_t>((*valid)[i] & keep);
+  }
+}
+
+}  // namespace ironsafe::sql::exec

@@ -1,0 +1,94 @@
+#ifndef IRONSAFE_SQL_OBLIVIOUS_KERNELS_H_
+#define IRONSAFE_SQL_OBLIVIOUS_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+/// Branch-free building blocks of the oblivious execution mode
+/// (docs/OBLIVIOUS.md). Every function here touches memory in a
+/// sequence that depends only on public shapes (element counts, network
+/// size, limits), never on decrypted values: comparisons feed arithmetic
+/// selects, both slots of a compare-exchange are always rewritten, and
+/// loop bounds are shape-derived. ironsafe_lint's oblivious-branching
+/// rule enforces the discipline mechanically: no if/else/switch/ternary/
+/// break/continue/goto anywhere in an oblivious_kernels file (for/while
+/// loops over public bounds are the only control flow).
+namespace ironsafe::sql::exec {
+
+/// Smallest power of two >= n (>= 1). Sort networks pad to this width.
+constexpr uint64_t NextPow2(uint64_t n) {
+  uint64_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Compare-exchanges the bitonic network performs on n elements (n a
+/// power of two): n/2 per column, log(n)*(log(n)+1)/2 columns. This is
+/// the count BitonicSort returns and the cost model charges.
+constexpr uint64_t BitonicExchangeCount(uint64_t n) {
+  uint64_t log = 0;
+  while ((uint64_t{1} << log) < n) ++log;
+  return (n / 2) * log * (log + 1) / 2;
+}
+
+/// Conditionally swaps items[a] and items[b] so the pair is ascending
+/// under `cmp` when up == 1 and descending when up == 0. `cmp(x, y)`
+/// returns <0/0/>0 like memcmp. Both slots are always rewritten through
+/// a two-element staging buffer, so the access sequence is identical
+/// whether or not the pair was already in order.
+template <typename T, typename Cmp>
+void ObliviousCompareExchange(std::vector<T>* items, size_t a, size_t b,
+                              uint64_t up, const Cmp& cmp) {
+  const uint64_t gt = static_cast<uint64_t>(cmp((*items)[a], (*items)[b]) > 0);
+  const uint64_t swap = uint64_t{1} - (up ^ gt);
+  T staged[2] = {std::move((*items)[a]), std::move((*items)[b])};
+  (*items)[a] = std::move(staged[swap]);
+  (*items)[b] = std::move(staged[uint64_t{1} - swap]);
+}
+
+/// Sorts `items` ascending under `cmp` with the bitonic merge network.
+/// items->size() must be a power of two (callers pad with sentinel
+/// elements that sort last). The sequence of (a, b, direction) triples —
+/// and therefore every memory access — is a pure function of the size.
+/// Returns the number of compare-exchanges (== BitonicExchangeCount).
+template <typename T, typename Cmp>
+uint64_t BitonicSort(std::vector<T>* items, const Cmp& cmp) {
+  const size_t n = items->size();
+  uint64_t exchanges = 0;
+  for (size_t k = 2; k <= n; k <<= 1) {
+    for (size_t j = k >> 1; j > 0; j >>= 1) {
+      for (size_t p = 0; p < n / 2; ++p) {
+        // Enumerate the column's pairs (i, i | j) directly — i ranges
+        // over the indices whose j bit is clear — so no index test is
+        // needed inside the loop.
+        const size_t low = p & (j - 1);
+        const size_t i = ((p & ~(j - 1)) << 1) | low;
+        const uint64_t up = static_cast<uint64_t>((i & k) == 0);
+        ObliviousCompareExchange(items, i, i | j, up, cmp);
+        ++exchanges;
+      }
+    }
+  }
+  return exchanges;
+}
+
+/// Number of set validity flags (a pure reduction; used for stats and
+/// for the declassified result width, never for control flow inside the
+/// pipeline).
+uint64_t MaskedCount(const std::vector<uint8_t>& valid);
+
+/// valid[i] &= pass[i] over the whole vector: oblivious filters never
+/// drop rows, they flip validity in place so every downstream pass keeps
+/// its shape.
+void MaskedFilterUpdate(std::vector<uint8_t>* valid,
+                        const std::vector<uint8_t>& pass);
+
+/// Keeps only the first `limit` set flags: flag i survives when fewer
+/// than `limit` flags are set strictly before it. One fixed-length pass.
+void MaskedLimit(std::vector<uint8_t>* valid, uint64_t limit);
+
+}  // namespace ironsafe::sql::exec
+
+#endif  // IRONSAFE_SQL_OBLIVIOUS_KERNELS_H_

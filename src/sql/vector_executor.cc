@@ -205,6 +205,7 @@ Result<VecRel> ScanRelationVec(Ctx* ctx, const TableRef& ref,
                                std::vector<ConjunctInfo>* conjuncts) {
   StageSpan span(ctx, "scan");
   span.Tag("table", ref.subquery ? "derived:" + ref.alias : ref.table_name);
+  ctx->RecordAccess(obs::AccessKind::kScanBegin);
   VecRel rel;
   std::vector<Row> source_rows;
   Table* table = nullptr;
@@ -257,6 +258,8 @@ Result<VecRel> ScanRelationVec(Ctx* ctx, const TableRef& ref,
     rel.batches = std::move(kept);
   }
   span.Tag("rows_out", static_cast<int64_t>(rel.ActiveRows()));
+  // Active rows after pushdown: the plain engine's first selectivity leak.
+  ctx->RecordAccess(obs::AccessKind::kScanEnd, rel.ActiveRows());
   return rel;
 }
 
@@ -359,6 +362,8 @@ Result<VecRel> JoinRelationsVec(Ctx* ctx, VecRel left, VecRel right,
   StageSpan span(ctx, "join");
   span.Tag("left_rows", static_cast<int64_t>(left.ActiveRows()));
   span.Tag("right_rows", static_cast<int64_t>(right.ActiveRows()));
+  ctx->RecordAccess(obs::AccessKind::kJoinBegin, left.ActiveRows(),
+                    right.ActiveRows());
   Schema combined = Schema::Concat(left.schema, right.schema);
 
   std::vector<ConjunctInfo> on_infos = AnalyzeConjuncts(on);
@@ -494,6 +499,8 @@ Result<VecRel> JoinRelationsVec(Ctx* ctx, VecRel left, VecRel right,
   }
   builder.Flush();
   span.Tag("rows_out", static_cast<int64_t>(out.ActiveRows()));
+  ctx->RecordAccess(obs::AccessKind::kJoinEnd, out.ActiveRows(),
+                    keys.empty() ? 0 : 1);
   return out;
 }
 
@@ -694,6 +701,7 @@ Result<QueryResult> ExecuteSelectVectorized(Database* db,
   ctx.eval = std::make_unique<Evaluator>(ctx.runner.get());
   ctx.traced =
       opts.trace && cost != nullptr && obs::CurrentTracer() != nullptr;
+  ctx.access = opts.trace ? obs::CurrentAccessLog() : nullptr;
 
   if (stmt.from.empty()) {
     QueryResult result;
@@ -710,6 +718,7 @@ Result<QueryResult> ExecuteSelectVectorized(Database* db,
   }
 
   StageSpan select_span(&ctx, "select");
+  ctx.RecordAccess(obs::AccessKind::kQueryBegin, 0);
 
   std::vector<ConjunctInfo> conjuncts = AnalyzeConjuncts(stmt.where.get());
 
@@ -742,6 +751,7 @@ Result<QueryResult> ExecuteSelectVectorized(Database* db,
       StageSpan filter_span(&ctx, "filter");
       filter_span.Tag("rows_in", static_cast<int64_t>(current.ActiveRows()));
       filter_span.Tag("predicates", static_cast<int64_t>(residual.size()));
+      uint64_t filter_rows_in = current.ActiveRows();
       VectorEvaluator veval(ctx.eval.get(), &current.schema, ctx.outer);
       std::vector<VecBatch> kept;
       for (VecBatch& b : current.batches) {
@@ -754,6 +764,8 @@ Result<QueryResult> ExecuteSelectVectorized(Database* db,
       }
       current.batches = std::move(kept);
       filter_span.Tag("rows_out", static_cast<int64_t>(current.ActiveRows()));
+      ctx.RecordAccess(obs::AccessKind::kFilter, filter_rows_in,
+                       current.ActiveRows());
     }
   }
 
@@ -777,9 +789,12 @@ Result<QueryResult> ExecuteSelectVectorized(Database* db,
     {
       StageSpan agg_span(&ctx, "aggregate");
       agg_span.Tag("rows_in", static_cast<int64_t>(current.ActiveRows()));
+      uint64_t agg_rows_in = current.ActiveRows();
       ASSIGN_OR_RETURN(current, AggregateVec(&ctx, std::move(current), stmt,
                                              agg_exprs));
       agg_span.Tag("groups", static_cast<int64_t>(current.ActiveRows()));
+      ctx.RecordAccess(obs::AccessKind::kAggregate, agg_rows_in,
+                       current.ActiveRows());
     }
     for (const SelectItem& item : stmt.items) {
       items.push_back(SelectItem{RewriteToColumns(*item.expr, rewrite_names),
@@ -920,6 +935,7 @@ Result<QueryResult> ExecuteSelectVectorized(Database* db,
   if (!order_by.empty()) {
     StageSpan sort_span(&ctx, "sort");
     sort_span.Tag("rows", static_cast<int64_t>(result.rows.size()));
+    ctx.RecordAccess(obs::AccessKind::kSort, result.rows.size());
     struct SortKey {
       std::vector<Value> keys;
       size_t index;
@@ -970,6 +986,7 @@ Result<QueryResult> ExecuteSelectVectorized(Database* db,
 
   if (stats != nullptr) stats->rows_output += result.rows.size();
   select_span.Tag("rows_out", static_cast<int64_t>(result.rows.size()));
+  ctx.RecordAccess(obs::AccessKind::kResult, result.rows.size());
   ctx.FlushCharges();
   return result;
 }

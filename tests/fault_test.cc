@@ -646,6 +646,34 @@ TEST_F(CsaFaultTest, RandomFaultSweepAlwaysRecovers) {
          }();
 }
 
+TEST_F(CsaFaultTest, RandomFaultSweepRecoversInObliviousMode) {
+  // The same CI seed matrix, with the padded oblivious pipeline
+  // (docs/OBLIVIOUS.md) underneath: recovery must reproduce the
+  // fault-free *oblivious* answer bit-for-bit, and the retries must not
+  // perturb the value-independent execution (same stats both runs).
+  uint64_t seed = 1;
+  if (const char* env = std::getenv("IRONSAFE_FAULT_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+    if (seed == 0) seed = 1;
+  }
+  system_->set_oblivious(true);
+  QueryOutcome clean = MustRun(SystemConfig::kScs, 6);
+
+  {
+    ScopedFaultInjection guard;
+    FaultRegistry& reg = FaultRegistry::Global();
+    reg.ArmProbability(site::kNetSendDrop, 0.05, seed);
+    reg.ArmProbability(site::kSgxEcallFail, 0.01, seed + 1);
+    reg.ArmProbability(site::kStoreReadBitflip, 0.01, seed + 2);
+    reg.ArmProbability(site::kSgxEpcSpike, 0.02, seed + 3);
+    QueryOutcome faulted = MustRun(SystemConfig::kScs, 6);
+    EXPECT_EQ(ExactRows(faulted.result), ExactRows(clean.result))
+        << "seed " << seed;
+    EXPECT_EQ(faulted.stats, clean.stats) << "seed " << seed;
+  }
+  system_->set_oblivious(false);
+}
+
 // ---------------- serving-layer fault sites ----------------
 
 // Session faults live in the serving layer's dispatch/admission path:

@@ -1,0 +1,33 @@
+// Fixture: a branch-free oblivious kernel — comparisons feed arithmetic
+// selects, both slots of a compare-exchange are always rewritten, and
+// loop bounds are public shapes. Must stay silent.
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ironsafe::sql::exec {
+
+void CompareExchange(std::vector<int64_t>* items, size_t a, size_t b) {
+  const uint64_t gt = static_cast<uint64_t>((*items)[a] > (*items)[b]);
+  int64_t staged[2] = {(*items)[a], (*items)[b]};
+  (*items)[a] = staged[gt];
+  (*items)[b] = staged[uint64_t{1} - gt];
+}
+
+int64_t SelectMax(int64_t x, int64_t y) {
+  const int64_t gt = static_cast<int64_t>(x > y);
+  return gt * x + (int64_t{1} - gt) * y;
+}
+
+size_t ObliviousFind(const std::vector<int64_t>& items, int64_t needle) {
+  size_t at = items.size();
+  for (size_t i = 0; i < items.size(); ++i) {
+    const size_t hit = static_cast<size_t>(items[i] == needle);
+    const size_t first = static_cast<size_t>(at == items.size());
+    at = hit * first * i + (size_t{1} - hit * first) * at;
+  }
+  return at;
+}
+
+}  // namespace ironsafe::sql::exec

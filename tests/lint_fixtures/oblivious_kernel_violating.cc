@@ -1,0 +1,33 @@
+// Fixture: an "oblivious" kernel that branches on decrypted values.
+// Every if/else/ternary/break/continue/switch/goto token inside an
+// oblivious_kernels file must fire oblivious-branching.
+#include <cstdint>
+#include <vector>
+
+namespace ironsafe::sql::exec {
+
+// Leaks the comparison outcome through the branch: 1x 'if', 1x 'else'.
+void LeakyCompareExchange(std::vector<int64_t>* items, size_t a, size_t b) {
+  if ((*items)[a] > (*items)[b]) {
+    std::swap((*items)[a], (*items)[b]);
+  } else {
+    (void)0;
+  }
+}
+
+// Leaks through the ternary select: 1x '?'.
+int64_t LeakyMax(int64_t x, int64_t y) { return x > y ? x : y; }
+
+// Leaks the match position through early exit: 1x 'if', 1x 'break'.
+size_t LeakyFind(const std::vector<int64_t>& items, int64_t needle) {
+  size_t at = items.size();
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (items[i] == needle) {
+      at = i;
+      break;
+    }
+  }
+  return at;
+}
+
+}  // namespace ironsafe::sql::exec

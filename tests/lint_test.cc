@@ -243,6 +243,64 @@ TEST(LintVectorKernelBoxing, AllowCommentSilences) {
   EXPECT_TRUE(LintSource("src/sql/vector_kernels.cc", code).empty());
 }
 
+TEST(LintObliviousBranching, FiresOnBranchyKernelFile) {
+  auto diags = LintFixtureAs("oblivious_kernel_violating.cc",
+                             "src/sql/oblivious_kernels.cc");
+  // 2x if, 1x else, 1x ternary '?', 1x break.
+  ASSERT_EQ(diags.size(), 5u);
+  for (const auto& d : diags) {
+    EXPECT_EQ(d.rule, "oblivious-branching");
+    EXPECT_NE(d.message.find("public shapes"), std::string::npos);
+  }
+}
+
+TEST(LintObliviousBranching, SilentOnBranchFreeKernel) {
+  EXPECT_TRUE(LintFixtureAs("oblivious_kernel_clean.cc",
+                            "src/sql/oblivious_kernels.cc")
+                  .empty());
+}
+
+TEST(LintObliviousBranching, OnlyAppliesToObliviousKernelFiles) {
+  // The same branchy code is legal everywhere else — including the
+  // oblivious executor's orchestration layer, which may branch on
+  // public shapes freely.
+  EXPECT_TRUE(LintFixtureAs("oblivious_kernel_violating.cc",
+                            "src/sql/oblivious_executor.cc")
+                  .empty());
+  EXPECT_TRUE(LintFixtureAs("oblivious_kernel_violating.cc",
+                            "src/sql/executor.cc")
+                  .empty());
+}
+
+TEST(LintObliviousBranching, AppliesToKernelHeadersToo) {
+  auto diags = LintFixtureAs("oblivious_kernel_violating.cc",
+                             "src/sql/oblivious_kernels.h");
+  ASSERT_FALSE(diags.empty());
+  EXPECT_EQ(diags[0].rule, "oblivious-branching");
+}
+
+TEST(LintObliviousBranching, AllowCommentSilences) {
+  std::string code =
+      "// ironsafe-lint: allow(oblivious-branching)\n"
+      "int F(int x) { return x > 0 ? x : 0; }\n";
+  EXPECT_TRUE(LintSource("src/sql/oblivious_kernels.cc", code).empty());
+}
+
+TEST(LintObliviousBranching, ShippedKernelsAreClean) {
+  // The real kernels must satisfy their own rule with no suppressions.
+  for (const char* rel :
+       {"src/sql/oblivious_kernels.h", "src/sql/oblivious_kernels.cc"}) {
+    std::ifstream in(std::string(LINT_FIXTURE_DIR "/../../") + rel,
+                     std::ios::binary);
+    ASSERT_TRUE(in.good()) << rel;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string text = ss.str();
+    EXPECT_EQ(text.find("ironsafe-lint: allow"), std::string::npos) << rel;
+    EXPECT_TRUE(LintSource(rel, text).empty()) << rel;
+  }
+}
+
 TEST(LintHygiene, FiresOnMissingGuardAndUsingNamespaceStd) {
   auto diags =
       LintFixtureAs("hygiene_violating.h", "src/sql/hygiene_violating.h");

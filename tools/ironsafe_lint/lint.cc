@@ -634,6 +634,39 @@ void CheckVectorKernelBoxing(Checker& c) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: oblivious-branching.
+// ---------------------------------------------------------------------------
+
+/// The oblivious mode's innermost kernels (sql/oblivious_kernels.*) must
+/// be branch-free: their control flow may depend only on public shapes
+/// (element counts, network size, limits), never on decrypted values.
+/// Data-dependent decisions have to go through arithmetic selects — a
+/// conditional branch would leak the decision through the instruction
+/// and data access stream. for/while loops over public bounds are the
+/// only allowed control flow.
+bool IsObliviousKernelFile(std::string_view rel_path) {
+  return rel_path.find("oblivious_kernels") != std::string_view::npos;
+}
+
+void CheckObliviousBranching(Checker& c) {
+  if (!IsObliviousKernelFile(c.rel_path)) return;
+  static const std::set<std::string> kBannedKeywords = {
+      "if", "else", "switch", "case", "goto", "break", "continue"};
+  for (const Token& t : c.lx.tokens) {
+    bool banned =
+        (t.kind == Token::Kind::kIdent && kBannedKeywords.count(t.text) > 0) ||
+        (t.kind == Token::Kind::kPunct && t.text == "?");
+    if (banned) {
+      c.Emit("oblivious-branching", t.line,
+             "data-dependent branching ('" + t.text +
+                 "') is banned in oblivious_kernels files; the access "
+                 "sequence must be a pure function of public shapes — use "
+                 "arithmetic selects and fixed-trip loops instead");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: hygiene.
 // ---------------------------------------------------------------------------
 
@@ -752,6 +785,7 @@ std::vector<Diagnostic> LintSource(std::string_view rel_path,
   CheckDeterminismUnorderedIteration(c);
   CheckUncheckedStatus(c);
   CheckVectorKernelBoxing(c);
+  CheckObliviousBranching(c);
   CheckHygiene(c);
   return diags;
 }
@@ -789,6 +823,7 @@ Report LintTree(const Options& opts) {
     CheckDeterminismUnorderedIteration(c);
     CheckUncheckedStatus(c);
     CheckVectorKernelBoxing(c);
+    CheckObliviousBranching(c);
     CheckHygiene(c);
 
     std::vector<std::string>& edges = include_graph[rel];
