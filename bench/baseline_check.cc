@@ -6,6 +6,7 @@
 //   baseline_check <baseline.json> [--require-sim-improvement]
 //                                  [--require-improvement]
 //                                  [--require-sim-overhead]
+//                                  [--require-shard-scaling]
 //
 // Validates the schema. --require-sim-improvement additionally asserts
 // that, summed over the queries carrying a row-engine re-run, the
@@ -18,10 +19,17 @@
 // baseline — the gate for BENCH_oblivious.json, where the padded
 // pipeline is expected to pay for its shape-only access sequence
 // (oblivious_smoke ctest; docs/OBLIVIOUS.md).
+// --require-shard-scaling reads "name@shards" query keys (the
+// BENCH_fig12.json convention) and asserts, per query, that the largest
+// shard count spent strictly fewer simulated cycles than the smallest,
+// and that no shard count spent more than the smallest — scale-out must
+// help and never hurt (fig12_smoke ctest; docs/SHARDING.md).
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 
@@ -44,6 +52,7 @@ int Main(int argc, char** argv) {
   bool require_sim = false;
   bool require_wall = false;
   bool require_overhead = false;
+  bool require_shards = false;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--require-improvement") == 0) {
       require_sim = true;
@@ -52,6 +61,8 @@ int Main(int argc, char** argv) {
       require_sim = true;
     } else if (std::strcmp(argv[i], "--require-sim-overhead") == 0) {
       require_overhead = true;
+    } else if (std::strcmp(argv[i], "--require-shard-scaling") == 0) {
+      require_shards = true;
     } else {
       return Fail(std::string("unknown flag: ") + argv[i]);
     }
@@ -138,6 +149,48 @@ int Main(int argc, char** argv) {
           std::to_string(vec_cycles) + " vs row " +
           std::to_string(row_cycles) +
           " (an oblivious baseline must pay for its padding)");
+    }
+  }
+  if (require_shards) {
+    // Group "name@shards" keys by name; each group is one query's sweep
+    // over shard counts.
+    struct Sweep {
+      std::map<long, double> sim_by_shards;
+    };
+    std::map<std::string, Sweep> sweeps;
+    for (const auto& [name, q] : queries->object_value) {
+      size_t at = name.rfind('@');
+      if (at == std::string::npos || at == 0 || at + 1 >= name.size()) {
+        return Fail(name + ": shard-scaling check needs \"name@shards\" keys");
+      }
+      char* end = nullptr;
+      long shards = std::strtol(name.c_str() + at + 1, &end, 10);
+      if (end == nullptr || *end != '\0' || shards < 1) {
+        return Fail(name + ": malformed shard count suffix");
+      }
+      sweeps[name.substr(0, at)].sim_by_shards[shards] =
+          q.Find("sim_cycles")->number_value;
+    }
+    for (const auto& [query, sweep] : sweeps) {
+      if (sweep.sim_by_shards.size() < 2) {
+        return Fail(query + ": shard-scaling check needs >= 2 shard counts");
+      }
+      auto [min_shards, base_sim] = *sweep.sim_by_shards.begin();
+      auto [max_shards, top_sim] = *sweep.sim_by_shards.rbegin();
+      if (top_sim >= base_sim) {
+        return Fail(query + ": " + std::to_string(max_shards) +
+                    " shards not cheaper in simulated cycles than " +
+                    std::to_string(min_shards) + " (" +
+                    std::to_string(top_sim) + " vs " +
+                    std::to_string(base_sim) + ")");
+      }
+      for (const auto& [shards, sim] : sweep.sim_by_shards) {
+        if (sim > base_sim) {
+          return Fail(query + ": " + std::to_string(shards) +
+                      " shards costlier than " + std::to_string(min_shards) +
+                      " — scale-out must never hurt");
+        }
+      }
     }
   }
   if (require_wall && vec_wall >= row_wall) {

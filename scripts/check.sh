@@ -52,6 +52,9 @@ ctest --test-dir build -L server --output-on-failure -j "$JOBS"
 echo "==> oblivious-mode leg (ctest -L oblivious)"
 ctest --test-dir build -L oblivious --output-on-failure -j "$JOBS"
 
+echo "==> sharded-fleet leg (ctest -L dist)"
+ctest --test-dir build -L dist --output-on-failure -j "$JOBS"
+
 echo "==> ironsafe_lint (also gated by ctest -R lint_tree)"
 ./build/tools/ironsafe_lint/ironsafe_lint --root . \
   --json build/lint_report.json

@@ -1,0 +1,73 @@
+#ifndef IRONSAFE_DIST_PLANNER_H_
+#define IRONSAFE_DIST_PLANNER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/partitioner.h"
+#include "sql/ast.h"
+#include "sql/database.h"
+#include "sql/partition.h"
+
+namespace ironsafe::dist {
+
+/// One storage fragment plus its placement across the shard groups.
+struct FragmentPlacement {
+  engine::PartitionedQuery::StorageFragment fragment;
+  /// True: the source table is partitioned, so every shard group runs
+  /// the fragment over its slice and the host merges the shipped rows.
+  /// False: the table is replicated; exactly one group (`home_group`)
+  /// runs the fragment so the result multiset is unchanged.
+  bool partitioned = false;
+  int home_group = 0;
+  /// Partitioned fragments: the partition-key column the host k-way-
+  /// merges the per-shard row streams by. Because loaders insert rows in
+  /// ascending key order and a key maps to exactly one shard, the merge
+  /// reconstructs the single-node fragment row order bit-exactly — the
+  /// anchor for shard-count-invariant results (docs/SHARDING.md).
+  std::string merge_key;
+};
+
+/// A distributed plan: shard-side fragments plus the host remainder.
+struct DistPlan {
+  std::vector<FragmentPlacement> fragments;
+  std::unique_ptr<sql::SelectStmt> host_query;
+  /// True: the fragments are whole-query partial aggregates (one
+  /// identical statement run per shard group) and `host_query` is the
+  /// re-aggregation over their union. See PlannerOptions.
+  bool partial_aggregation = false;
+};
+
+struct PlannerOptions {
+  int shard_count = 1;
+  /// Opt-in partial aggregation (§8-style pushdown, distributed): when
+  /// the query has no subqueries / HAVING / DISTINCT / LIMIT, every
+  /// select item is a mergeable aggregate (COUNT/SUM/MIN/MAX) or a
+  /// GROUP BY column, and all partitioned tables it touches are joined
+  /// on their co-partitioned keys, each shard runs the whole query over
+  /// its slice and the host merely re-aggregates the shipped partials.
+  /// Off by default: merging double-typed partial SUMs is not bit-
+  /// identical across shard counts (float addition is non-associative),
+  /// so the default plan keeps the shard-count-invariance guarantee and
+  /// this mode trades it for a smaller shipped footprint.
+  bool partial_aggregation = false;
+  /// Returns true when two partitioned tables' slices co-locate (same
+  /// partition kind and routing parameters). Unset = never co-located.
+  std::function<bool(const std::string&, const std::string&)> co_located;
+};
+
+/// Plans `stmt` for a fleet of `options.shard_count` groups. `shard_db`
+/// supplies table schemas (any node's database — they all hold every
+/// table). `scheme` maps base tables to their partition specs; tables
+/// absent from the scheme are treated as replicated.
+Result<DistPlan> PlanQuery(const sql::SelectStmt& stmt,
+                           const sql::Database& shard_db,
+                           const std::vector<sql::TablePartition>& scheme,
+                           const PlannerOptions& options);
+
+}  // namespace ironsafe::dist
+
+#endif  // IRONSAFE_DIST_PLANNER_H_

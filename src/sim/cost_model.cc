@@ -129,6 +129,18 @@ void CostModel::MergeChild(const CostModel& child) {
   pages_decrypted_ += child.pages_decrypted_;
 }
 
+void CostModel::MergeParallelTimelines(
+    const std::vector<const CostModel*>& children) {
+  SimNanos makespan = 0;
+  for (const CostModel* child : children) {
+    SimNanos child_elapsed = child->total_ns_;
+    MergeChild(*child);
+    total_ns_ -= child_elapsed;  // MergeChild added it serially
+    makespan = std::max(makespan, child_elapsed);
+  }
+  total_ns_ += makespan;
+}
+
 void CostModel::Reset() {
   total_ns_ = compute_ns_ = disk_ns_ = network_ns_ = 0;
   transition_ns_ = epc_fault_ns_ = decrypt_ns_ = freshness_ns_ = fixed_ns_ = 0;

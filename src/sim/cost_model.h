@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace ironsafe::sim {
 
@@ -136,6 +137,17 @@ class CostModel {
   /// morsel-parallel execution: real thread count never changes the
   /// simulated account. `child` must share this model's profile.
   void MergeChild(const CostModel& child);
+
+  /// Folds N independently timed timelines that ran *concurrently on
+  /// disjoint hardware* (one per storage shard) into this model: every
+  /// component bucket and counter sums exactly like MergeChild, but the
+  /// elapsed clock advances by the MAXIMUM child elapsed time — the
+  /// makespan of the parallel phase. Each child must share this model's
+  /// profile and have been charged independently from zero, so the merge
+  /// is grouping- and order-independent like MergeChild; the elapsed
+  /// total is what sharding improves while the bucket sums still account
+  /// for all work done fleet-wide (docs/SHARDING.md).
+  void MergeParallelTimelines(const std::vector<const CostModel*>& children);
 
   // ---- Readout ----
 

@@ -181,6 +181,19 @@ inline constexpr std::string_view kServerMidstreamDrop =
 /// flow control. A latency fault only: the statement still completes OK
 /// and the stall time is accounted in the completion and counters.
 inline constexpr std::string_view kServerStreamStall = "server.stream.stall";
+/// ShardedCsaFleet — the shard group's currently selected storage node
+/// goes down before it executes a fragment (heartbeat timeout). The
+/// fleet fails over to the group's next live replica and re-routes every
+/// remaining fragment of the group there; rows are bit-identical because
+/// replicas hold identical partitions. With every replica of a group
+/// down, the query fails kUnavailable.
+inline constexpr std::string_view kDistShardDown = "dist.shard.down";
+/// ShardedCsaFleet fragment shipping — one byte of the sealed result
+/// frame flips in transit (param picks the byte). The host end rejects
+/// the frame, the per-shard channel is re-keyed (monitor-style session
+/// key distribution) and the fragment is re-sent.
+inline constexpr std::string_view kDistFragmentCorrupt =
+    "dist.fragment.corrupt";
 }  // namespace fault_site
 
 }  // namespace ironsafe::sim

@@ -1,0 +1,49 @@
+#ifndef IRONSAFE_SQL_PARTITION_H_
+#define IRONSAFE_SQL_PARTITION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ironsafe::sql {
+
+/// How one table's rows are distributed across the storage shards of a
+/// multi-node fleet (src/dist). The metadata lives at the SQL layer so
+/// workload definitions (src/tpch) and the distributed planner consume
+/// one shared vocabulary without depending on each other.
+enum class PartitionKind {
+  /// Every shard holds a full copy; the planner reads it on exactly one
+  /// shard per query so the result multiset is unchanged.
+  kReplicated,
+  /// Row goes to shard SplitMix64(key) % shard_count.
+  kHash,
+  /// Contiguous key ranges: shard (key - min_key) / chunk, with the
+  /// chunk width derived from the loaded key span. Tables range-
+  /// partitioned on keys drawn from the same domain (orders/lineitem on
+  /// orderkey) land matching keys on the same shard.
+  kRange,
+};
+
+/// One table's partition spec: the single source of truth shared by the
+/// data generator and the fleet's router/planner.
+struct TablePartition {
+  std::string table;
+  PartitionKind kind = PartitionKind::kReplicated;
+  std::string key_column;  ///< empty iff kReplicated
+
+  bool operator==(const TablePartition&) const = default;
+};
+
+/// The stateless 64-bit mixer behind kHash placement. Splittable,
+/// deterministic, and endian-free, so every node computes the same
+/// shard for a key on any machine.
+inline uint64_t PartitionHash(uint64_t key) {
+  uint64_t z = key + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace ironsafe::sql
+
+#endif  // IRONSAFE_SQL_PARTITION_H_

@@ -15,6 +15,7 @@
 
 #include "common/retry.h"
 #include "common/thread_pool.h"
+#include "dist/fleet.h"
 #include "engine/csa_system.h"
 #include "engine/ironsafe.h"
 #include "net/secure_channel.h"
@@ -30,6 +31,7 @@
 #include "tee/trustzone.h"
 #include "tpch/dbgen.h"
 #include "tpch/queries.h"
+#include "tpch/table_spec.h"
 
 namespace ironsafe {
 namespace {
@@ -672,6 +674,126 @@ TEST_F(CsaFaultTest, RandomFaultSweepRecoversInObliviousMode) {
     EXPECT_EQ(faulted.stats, clean.stats) << "seed " << seed;
   }
   system_->set_oblivious(false);
+}
+
+// ---------------- fleet fault sites (dist.*) ----------------
+
+// The two distributed sites (docs/SHARDING.md): a storage node failing
+// its pre-dispatch heartbeat (`dist.shard.down`) and a sealed result
+// frame corrupted on the shard->host wire (`dist.fragment.corrupt`).
+// Detection bar: the failover counter / the AEAD reject + re-key counter.
+// Recovery bar: bit-identical rows — replicas hold identical slices, and
+// re-sent frames carry the same payload.
+class DistFaultTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dist::FleetOptions options;
+    options.shard_count = 2;
+    options.replicas_per_shard = 2;
+    options.partitions = tpch::TpchPartitionScheme();
+    auto fleet = dist::ShardedCsaFleet::Create(options);
+    ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+    ASSERT_TRUE((*fleet)
+                    ->Load([](sql::Database* db) {
+                      tpch::TpchGenerator g(tpch::TpchConfig{0.001, 42});
+                      return g.LoadInto(db);
+                    })
+                    .ok());
+    fleet_ = fleet->release();
+  }
+
+  dist::FleetOutcome MustRun(int query) {
+    auto q = tpch::GetQuery(query);
+    EXPECT_TRUE(q.ok());
+    auto out = fleet_->Run((*q)->sql);
+    EXPECT_TRUE(out.ok()) << out.status().ToString();
+    return std::move(*out);
+  }
+
+  static dist::ShardedCsaFleet* fleet_;
+};
+
+dist::ShardedCsaFleet* DistFaultTest::fleet_ = nullptr;
+
+TEST_F(DistFaultTest, ShardDownIsDetectedAndReplicaServesSameRows) {
+  dist::FleetOutcome clean = MustRun(6);
+
+  ScopedFaultInjection guard;
+  int64_t failovers = CounterValue("dist.failovers");
+  FaultRegistry::Global().ArmNth(site::kDistShardDown, 1);
+  dist::FleetOutcome faulted = MustRun(6);
+
+  EXPECT_EQ(FaultRegistry::Global().fired(site::kDistShardDown), 1u);
+  EXPECT_EQ(faulted.failovers, 1);
+  EXPECT_EQ(CounterValue("dist.failovers"), failovers + 1);
+  EXPECT_EQ(ExactRows(faulted.result), ExactRows(clean.result));
+  // Detection latency (the heartbeat timeout) lands in the cost account.
+  EXPECT_GT(faulted.cost.elapsed_ns(), clean.cost.elapsed_ns());
+}
+
+TEST_F(DistFaultTest, ExhaustedReplicaGroupIsUnavailableNotWrong) {
+  ScopedFaultInjection guard;
+  FaultRegistry::Global().ArmNth(site::kDistShardDown, 1,
+                                 /*count=*/2);
+  auto q = tpch::GetQuery(6);
+  ASSERT_TRUE(q.ok());
+  auto out = fleet_->Run((*q)->sql);
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsUnavailable()) << out.status().ToString();
+}
+
+TEST_F(DistFaultTest, CorruptFragmentFrameIsRejectedThenRekeyedAndResent) {
+  dist::FleetOutcome clean = MustRun(6);
+
+  ScopedFaultInjection guard;
+  int64_t rekeys = CounterValue("dist.channel.rehandshakes");
+  FaultRegistry::Global().ArmNth(site::kDistFragmentCorrupt, 1, /*count=*/1,
+                                 /*param=*/7);
+  dist::FleetOutcome faulted = MustRun(6);
+
+  EXPECT_EQ(FaultRegistry::Global().fired(site::kDistFragmentCorrupt), 1u);
+  EXPECT_GE(CounterValue("dist.channel.rehandshakes"), rekeys + 1);
+  EXPECT_EQ(ExactRows(faulted.result), ExactRows(clean.result));
+}
+
+TEST_F(DistFaultTest, RandomDistFaultSweepRecoversOrFailsSafe) {
+  // The CI seed matrix (IRONSAFE_FAULT_SEED=1..10, scripts/check.sh)
+  // extended to sharded execution: probabilistic shard-down, fragment
+  // corruption and transport faults all at once. The invariant is
+  // fail-safe, not fail-never: either the fleet recovers to the
+  // fault-free rows, or enough heartbeats fired to exhaust a replica
+  // group and the query reports kUnavailable — never a wrong answer.
+  uint64_t seed = 1;
+  if (const char* env = std::getenv("IRONSAFE_FAULT_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+    if (seed == 0) seed = 1;
+  }
+  dist::FleetOutcome clean = MustRun(3);
+
+  ScopedFaultInjection guard;
+  FaultRegistry& reg = FaultRegistry::Global();
+  reg.ArmProbability(site::kDistShardDown, 0.05, seed);
+  reg.ArmProbability(site::kDistFragmentCorrupt, 0.05, seed + 1);
+  reg.ArmProbability(site::kNetSendDrop, 0.05, seed + 2);
+  auto q = tpch::GetQuery(3);
+  ASSERT_TRUE(q.ok());
+  auto faulted = fleet_->Run((*q)->sql);
+  if (faulted.ok()) {
+    EXPECT_EQ(ExactRows(faulted->result), ExactRows(clean.result))
+        << "seed " << seed << " fired: " << [&] {
+             std::string s;
+             for (const auto& [name, n] : reg.FiredSnapshot()) {
+               s += name + "=" + std::to_string(n) + " ";
+             }
+             return s;
+           }();
+  } else {
+    EXPECT_TRUE(faulted.status().IsUnavailable())
+        << faulted.status().ToString();
+    EXPECT_GE(reg.fired(site::kDistShardDown),
+              static_cast<uint64_t>(fleet_->replicas_per_shard()))
+        << "unavailability without an exhausted replica group";
+  }
 }
 
 // ---------------- serving-layer fault sites ----------------

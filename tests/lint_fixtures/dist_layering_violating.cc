@@ -1,0 +1,8 @@
+// Violating fixture: linted as if it lived in src/dist/. The fleet must
+// stay workload-agnostic — partition specs flow through sql/partition.h,
+// so including tpch (or the serving layer above) inverts the DAG.
+#include "dist/fleet.h"
+#include "tpch/table_spec.h"
+#include "server/query_service.h"
+
+void DistLayeringViolatingFixture() {}

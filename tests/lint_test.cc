@@ -87,6 +87,28 @@ TEST(LintLayering, NothingBelowServerMayIncludeIt) {
   EXPECT_EQ(net_diags[0].rule, "layering");
 }
 
+TEST(LintLayering, DistMayIncludeEverythingItLinks) {
+  EXPECT_TRUE(LintFixtureAs("dist_layering_clean.cc",
+                            "src/dist/dist_layering_clean.cc")
+                  .empty());
+}
+
+TEST(LintLayering, DistMayNotIncludeTpchOrServer) {
+  auto diags = LintFixtureAs("dist_layering_violating.cc",
+                             "src/dist/dist_layering_violating.cc");
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].rule, "layering");
+  EXPECT_NE(diags[0].message.find("tpch"), std::string::npos);
+  EXPECT_EQ(diags[1].rule, "layering");
+  EXPECT_NE(diags[1].message.find("server"), std::string::npos);
+  // And nothing below dist may include it: the fleet caps the DAG
+  // alongside server.
+  auto engine_diags =
+      LintSource("src/engine/x.cc", "#include \"dist/fleet.h\"\n");
+  ASSERT_EQ(engine_diags.size(), 1u);
+  EXPECT_EQ(engine_diags[0].rule, "layering");
+}
+
 TEST(LintLayering, BenchAndTestsAreUnrestricted) {
   EXPECT_TRUE(
       LintSource("bench/x.cc", "#include \"engine/ironsafe.h\"\n").empty());
